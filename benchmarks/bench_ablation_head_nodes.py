@@ -1,0 +1,29 @@
+"""Benchmark target for the Section 4.3 head-node prefetching ablation."""
+
+from repro.experiments import ablation_head_nodes
+from repro.experiments.scale import ExperimentScale
+from repro.workloads import OpType
+
+SCALE = ExperimentScale(num_keys=20_000, measure_s=0.003)
+
+
+def test_head_node_prefetching_ablation(benchmark, run_once):
+    results = run_once(ablation_head_nodes.run, scale=SCALE, num_clients=4)
+    ablation_head_nodes.print_figure(results, SCALE)
+
+    # At the largest scan size, prefetching must cut the scan latency
+    # noticeably (the paper's point: masking per-leaf round trips).
+    sel = ablation_head_nodes.SELECTIVITIES[-1]
+    without = results[(sel, False)].latency_mean(OpType.RANGE)
+    with_heads = results[(sel, True)].latency_mean(OpType.RANGE)
+    benchmark.extra_info["scan_latency_us"] = {
+        "no_heads": without * 1e6, "heads": with_heads * 1e6,
+    }
+    assert with_heads < 0.8 * without
+
+    # At the smallest scan size the head read is pure overhead — the
+    # trade-off the paper's epoch-maintained heads accept.
+    small = ablation_head_nodes.SELECTIVITIES[0]
+    assert results[(small, True)].latency_mean(OpType.RANGE) < 3 * results[
+        (small, False)
+    ].latency_mean(OpType.RANGE)

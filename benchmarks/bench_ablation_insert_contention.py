@@ -1,0 +1,27 @@
+"""Benchmark target for the Section 6.3 spin-lock contention ablation."""
+
+from repro.experiments import ablation_insert_contention
+from repro.workloads import OpType
+
+
+def test_insert_hotspot_contention(benchmark, run_once, bench_scale):
+    results = run_once(
+        ablation_insert_contention.run, scale=bench_scale, readers=60, writers=30
+    )
+    ablation_insert_contention.print_figure(results, 60, 30)
+
+    cg = results["coarse-grained"]
+    fg = results["fine-grained"]
+    benchmark.extra_info["reader_throughput"] = {
+        "coarse-grained": cg.throughput_of(OpType.POINT),
+        "fine-grained": fg.throughput_of(OpType.POINT),
+    }
+    # The paper's Section 6.3 mechanism, made visible:
+    # (1) CG's spinning RPC workers saturate the hot server's CPU...
+    assert max(cg.cpu_utilization.values()) > 0.9
+    # ...(2) while FG's clients spin remotely, leaving server CPUs idle.
+    assert max(fg.cpu_utilization.values()) == 0.0
+    # (3) The flip side (consistent with later literature): holding a
+    # contended lock across round trips makes one-sided hotspot inserts
+    # far slower than server-local ones.
+    assert cg.throughput_of(OpType.INSERT) > 2 * fg.throughput_of(OpType.INSERT)

@@ -1,0 +1,27 @@
+"""Benchmark target for the Section 3.2 shared-receive-queue ablation."""
+
+from repro.experiments import ablation_srq
+from repro.experiments.scale import ExperimentScale
+
+SCALE = ExperimentScale(
+    num_keys=8_000, clients=(10, 120, 240), measure_s=0.0025
+)
+
+
+def test_srq_vs_per_client_receive_queues(benchmark, run_once):
+    results = run_once(ablation_srq.run, scale=SCALE)
+    ablation_srq.print_figure(results, SCALE)
+
+    low, high = SCALE.clients[0], SCALE.clients[-1]
+    srq_high = results[(True, high)].throughput
+    polled_high = results[(False, high)].throughput
+    benchmark.extra_info["high_load_throughput"] = {
+        "srq": srq_high, "per_client": polled_high,
+    }
+    # At few clients the choice barely matters...
+    assert results[(False, low)].throughput > 0.9 * results[(True, low)].throughput
+    # ...at many clients per-client receive queues collapse (the polling
+    # cost grows with every connection) while SRQs hold steady — the
+    # paper's reason for using SRQs.
+    assert srq_high > 1.5 * polled_high
+    assert polled_high < results[(False, SCALE.clients[1])].throughput

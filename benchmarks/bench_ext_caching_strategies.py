@@ -1,0 +1,32 @@
+"""Benchmark target for the A.4 caching-strategies extension."""
+
+from repro.experiments import ext_caching_strategies
+
+
+def test_caching_strategies(benchmark, run_once, bench_scale):
+    results = run_once(
+        ext_caching_strategies.run, scale=bench_scale, num_clients=60
+    )
+    ext_caching_strategies.print_figure(results, num_clients=60)
+
+    none_a, _, none_reads = results[("A", "none")]
+    all_a, all_hits, all_reads = results[("A", "all-inner")]
+    top_a, top_hits, top_reads = results[("A", "top-levels")]
+    benchmark.extra_info["workload_a_throughput"] = {
+        "none": none_a.throughput,
+        "all-inner": all_a.throughput,
+        "top-levels": top_a.throughput,
+    }
+    # Caching saves real traversal round trips, proportional to coverage:
+    # all-inner saves the most READs/op, top-levels an intermediate amount.
+    assert all_reads < top_reads < none_reads
+    assert all_a.throughput > top_a.throughput > none_a.throughput
+    assert all_hits > top_hits > 0
+
+    # Writes erode every strategy's benefit, but never below the baseline.
+    none_d, _, _ = results[("D", "none")]
+    all_d, _, _ = results[("D", "all-inner")]
+    assert all_d.throughput > none_d.throughput
+    assert (all_d.throughput / none_d.throughput) < (
+        all_a.throughput / none_a.throughput
+    )

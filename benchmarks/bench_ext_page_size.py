@@ -1,0 +1,23 @@
+"""Benchmark target for the page-size sensitivity extension."""
+
+from repro.experiments import ext_page_size
+from repro.workloads import OpType
+
+
+def test_page_size_sweep(benchmark, run_once, bench_scale):
+    results = run_once(ext_page_size.run, scale=bench_scale, num_clients=40)
+    ext_page_size.print_figure(results)
+
+    heights = {p: results[("A", p)][1] for p in ext_page_size.PAGE_SIZES}
+    benchmark.extra_info["heights"] = heights
+    # Bigger pages, higher fanout, shallower tree — strictly.
+    assert heights[256] > heights[1024] >= heights[4096]
+
+    # Points: a huge page moves 4 KiB per level and loses to 1 KiB.
+    point_1k, _ = results[("A", 1024)]
+    point_4k, _ = results[("A", 4096)]
+    assert point_1k.throughput > point_4k.throughput
+    # Latency per point lookup tracks (transfer x height) costs.
+    assert point_1k.latency_mean(OpType.POINT) < point_4k.latency_mean(
+        OpType.POINT
+    )

@@ -1,0 +1,26 @@
+"""Benchmark target for the request-skew extension (Zipfian YCSB access)."""
+
+from repro.experiments import ext_request_skew
+
+
+def test_request_skew_extension(benchmark, run_once, bench_scale):
+    results = run_once(ext_request_skew.run, scale=bench_scale, num_clients=60)
+    ext_request_skew.print_figure(results)
+
+    cg_uniform = results[("coarse-grained", "uniform")].throughput
+    cg_zipf = results[("coarse-grained", "zipfian")].throughput
+    fg_uniform = results[("fine-grained", "uniform")].throughput
+    fg_zipf = results[("fine-grained", "zipfian")].throughput
+    cached_zipf = results[("fine-grained+cache", "zipfian")].throughput
+    benchmark.extra_info["zipfian_throughput"] = {
+        "coarse-grained": cg_zipf,
+        "fine-grained": fg_zipf,
+        "fine-grained+cache": cached_zipf,
+    }
+    # Request skew (hot keys) hurts the partitioned designs — the hot
+    # keys' partition server saturates — while the fine-grained design's
+    # per-page scattering absorbs it...
+    assert cg_zipf < 0.7 * cg_uniform
+    assert fg_zipf > 0.85 * fg_uniform
+    # ...and client-side caching turns the hot paths into local hits.
+    assert cached_zipf > 1.5 * fg_zipf

@@ -1,0 +1,17 @@
+"""Benchmark target for Figure 3 + Table 2 (theoretical scalability)."""
+
+from repro.analysis import format_table2
+from repro.experiments import fig03_analytical
+
+
+def test_fig03_analytical_model(benchmark, run_once):
+    series = run_once(fig03_analytical.run)
+    print()
+    print(format_table2())
+    fg = series["fg (unif/skew)"]
+    skewed_cg = series["cg_range/hash (skew)"]
+    benchmark.extra_info["fg_scaling_2_to_64"] = fg[-1] / fg[0]
+    benchmark.extra_info["skewed_cg_scaling_2_to_64"] = skewed_cg[-1] / skewed_cg[0]
+    # Paper shape: FG scales with servers; skewed CG does not.
+    assert fg[-1] / fg[0] > 30
+    assert skewed_cg[-1] / skewed_cg[0] < 1.05

@@ -1,0 +1,25 @@
+"""Benchmark target for Figure 7: throughput, workloads A+B, skewed data."""
+
+from repro.experiments import fig07_08_throughput
+
+
+def test_fig07_throughput_skewed(benchmark, run_once, bench_scale):
+    results = run_once(fig07_08_throughput.run, skewed=True, scale=bench_scale)
+    fig07_08_throughput.print_figure(results, skewed=True, scale=bench_scale)
+
+    high = bench_scale.clients[-1]
+    cg = results[("coarse-grained", "A", high)].throughput
+    fg = results[("fine-grained", "A", high)].throughput
+    hybrid = results[("hybrid", "A", high)].throughput
+    benchmark.extra_info["point_skew_high_load"] = {
+        "coarse-grained": cg, "fine-grained": fg, "hybrid": hybrid,
+    }
+    # Paper shape (Fig 7a): under skew + high load, FG and hybrid beat CG.
+    assert fg > cg
+    assert hybrid > cg
+
+    sel = bench_scale.selectivities[-1]
+    cg_range = results[("coarse-grained", f"B(sel={sel})", high)].throughput
+    fg_range = results[("fine-grained", f"B(sel={sel})", high)].throughput
+    # Paper shape (Fig 7c): skewed range queries favour FG clearly.
+    assert fg_range > 1.3 * cg_range

@@ -1,0 +1,23 @@
+"""Benchmark target for Figure 8: throughput, workloads A+B, uniform data."""
+
+from repro.experiments import fig07_08_throughput
+
+
+def test_fig08_throughput_uniform(benchmark, run_once, bench_scale):
+    results = run_once(fig07_08_throughput.run, skewed=False, scale=bench_scale)
+    fig07_08_throughput.print_figure(results, skewed=False, scale=bench_scale)
+
+    low, high = bench_scale.clients[0], bench_scale.clients[-1]
+    benchmark.extra_info["point_uniform_high_load"] = {
+        design: results[(design, "A", high)].throughput
+        for design in ("coarse-grained", "fine-grained", "hybrid")
+    }
+    # Paper shape (Fig 8a): CG leads under light load...
+    assert (
+        results[("coarse-grained", "A", low)].throughput
+        > results[("fine-grained", "A", low)].throughput
+    )
+    # ...hybrid leads under high load.
+    hybrid = results[("hybrid", "A", high)].throughput
+    assert hybrid >= results[("coarse-grained", "A", high)].throughput
+    assert hybrid > results[("fine-grained", "A", high)].throughput

@@ -1,0 +1,38 @@
+"""Benchmark target for Figure 9: network utilization (skewed data)."""
+
+from repro.experiments import fig09_network
+from repro.experiments.scale import ExperimentScale
+
+# A trimmed grid: network shape needs one client count per workload.
+SCALE = ExperimentScale(
+    num_keys=8_000,
+    clients=(40,),
+    selectivities=(0.001, 0.01),
+    measure_s=0.003,
+)
+
+
+def test_fig09_network_utilization(benchmark, run_once):
+    results = run_once(fig09_network.run, scale=SCALE)
+    fig09_network.print_figure(results, SCALE)
+
+    clients = SCALE.clients[-1]
+    sel = SCALE.selectivities[-1]
+    cg_range = results[("coarse-grained", f"B(sel={sel})", clients)]
+    fg_range = results[("fine-grained", f"B(sel={sel})", clients)]
+    benchmark.extra_info["range_gb_per_s"] = {
+        "coarse-grained": cg_range.network_gb_per_s,
+        "fine-grained": fg_range.network_gb_per_s,
+    }
+    # Paper shape: under skew the CG range traffic funnels through one
+    # server's port while FG/hybrid spread the leaf level over all ports.
+    assert fig09_network.hot_server_share(cg_range) > 0.6
+    assert fig09_network.hot_server_share(fg_range) < 0.45
+
+    cg_point = results[("coarse-grained", "A", clients)]
+    fg_point = results[("fine-grained", "A", clients)]
+    # Paper shape: FG is less network-efficient for point queries (whole
+    # pages per level vs. a key+value RPC).
+    assert (fg_point.network_bytes / fg_point.total_ops) > 5 * (
+        cg_point.network_bytes / cg_point.total_ops
+    )

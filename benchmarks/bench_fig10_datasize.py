@@ -1,0 +1,42 @@
+"""Benchmark target for Figure 10: throughput vs. data size."""
+
+from repro.experiments import fig10_datasize
+from repro.experiments.scale import ExperimentScale
+
+# The paper's Figure 10 uses its highest selectivity (0.1) and an order of
+# magnitude between data sizes — the range-vs-size effect needs both.
+SCALE = ExperimentScale(
+    num_keys=8_000,
+    clients=(10, 40, 120),
+    selectivities=(0.1,),
+    data_sizes=(2_000, 16_000),
+    measure_s=0.003,
+)
+
+
+def test_fig10_varying_data_size(benchmark, run_once):
+    bench_scale = SCALE
+    results = run_once(fig10_datasize.run, scale=bench_scale)
+    fig10_datasize.print_figure(results, bench_scale)
+
+    small, large = bench_scale.data_sizes[0], bench_scale.data_sizes[-1]
+    sel = bench_scale.selectivities[-1]
+    range_name = f"B(sel={sel})"
+
+    for design in ("coarse-grained", "fine-grained", "hybrid"):
+        point_small = results[(design, "A", small)].throughput
+        point_large = results[(design, "A", large)].throughput
+        # Paper shape (Fig 10a): point throughput degrades only mildly
+        # with data size (one extra level at most).
+        assert point_large > 0.5 * point_small
+
+        range_small = results[(design, range_name, small)].throughput
+        range_large = results[(design, range_name, large)].throughput
+        # Paper shape (Fig 10b): fixed-selectivity range queries slow
+        # roughly with the data size (more leaf bytes per query).
+        assert range_large < 0.7 * range_small
+
+    benchmark.extra_info["point_large"] = {
+        design: results[(design, "A", large)].throughput
+        for design in ("coarse-grained", "fine-grained", "hybrid")
+    }

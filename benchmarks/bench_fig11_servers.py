@@ -1,0 +1,42 @@
+"""Benchmark target for Figure 11: throughput vs. number of memory servers."""
+
+from repro.experiments import fig11_servers
+from repro.experiments.scale import ExperimentScale
+
+SCALE = ExperimentScale(
+    num_keys=6_000,
+    selectivities=(0.01,),
+    servers_sweep=(2, 4, 8),
+    measure_s=0.0025,
+)
+
+
+def test_fig11_varying_memory_servers(benchmark, run_once):
+    results = run_once(fig11_servers.run, scale=SCALE, num_clients=120)
+    fig11_servers.print_figure(results, SCALE)
+
+    first, last = SCALE.servers_sweep[0], SCALE.servers_sweep[-1]
+    range_name = "B(sel=0.01)"
+
+    fg_gain = (
+        results[("fine-grained", range_name, True, last)].throughput
+        / results[("fine-grained", range_name, True, first)].throughput
+    )
+    cg_gain = (
+        results[("coarse-grained", range_name, True, last)].throughput
+        / results[("coarse-grained", range_name, True, first)].throughput
+    )
+    benchmark.extra_info["skewed_range_scaling"] = {
+        "fine-grained": fg_gain, "coarse-grained": cg_gain,
+    }
+    # Paper shape: FG benefits from every added server even under skew;
+    # CG cannot (the hot server pins it).
+    assert fg_gain > 1.4
+    assert cg_gain < 1.2
+
+    # Without skew, both designs gain from more servers on range queries.
+    cg_uniform_gain = (
+        results[("coarse-grained", range_name, False, last)].throughput
+        / results[("coarse-grained", range_name, False, first)].throughput
+    )
+    assert cg_uniform_gain > 1.2

@@ -1,0 +1,28 @@
+"""Benchmark target for Figure 12: workloads C and D (inserts)."""
+
+from repro.experiments import fig12_inserts
+
+
+def test_fig12_mixed_workloads(benchmark, run_once, bench_scale):
+    results = run_once(fig12_inserts.run, scale=bench_scale)
+    fig12_inserts.print_figure(results, bench_scale)
+
+    high = bench_scale.clients[-1]
+    benchmark.extra_info["workload_d_high_load"] = {
+        design: results[(design, "D", high)].throughput
+        for design in ("coarse-grained", "fine-grained", "hybrid")
+    }
+    # Paper shape: the hybrid is the most robust mixed-workload design and
+    # clearly beats coarse-grained at load, for both insert rates.
+    for workload in ("C", "D"):
+        assert (
+            results[("hybrid", workload, high)].throughput
+            > results[("coarse-grained", workload, high)].throughput
+        )
+    # Fine-grained keeps scaling with load (its clients spin remotely
+    # instead of occupying server workers).
+    low = bench_scale.clients[0]
+    assert (
+        results[("fine-grained", "D", high)].throughput
+        > 1.5 * results[("fine-grained", "D", low)].throughput
+    )

@@ -1,0 +1,31 @@
+"""Benchmark target for Figure 13 (Appendix A.2): latency, skewed data."""
+
+from repro.experiments import fig13_14_latency
+from repro.experiments.scale import ExperimentScale
+from repro.workloads import OpType
+
+SCALE = ExperimentScale(
+    num_keys=8_000,
+    clients=(10, 120),
+    selectivities=(0.01,),
+    measure_s=0.003,
+)
+
+
+def test_fig13_latency_skewed(benchmark, run_once):
+    results = run_once(fig13_14_latency.run, skewed=True, scale=SCALE)
+    fig13_14_latency.print_figure(results, skewed=True, scale=SCALE)
+
+    low, high = SCALE.clients
+    cg_low = results[("coarse-grained", "A", low)].latency_mean(OpType.POINT)
+    fg_low = results[("fine-grained", "A", low)].latency_mean(OpType.POINT)
+    cg_high = results[("coarse-grained", "A", high)].latency_mean(OpType.POINT)
+    fg_high = results[("fine-grained", "A", high)].latency_mean(OpType.POINT)
+    benchmark.extra_info["point_latency_us"] = {
+        "cg_low": cg_low * 1e6, "fg_low": fg_low * 1e6,
+        "cg_high": cg_high * 1e6, "fg_high": fg_high * 1e6,
+    }
+    # Paper shape: CG's single round trip wins at light load, but under
+    # skewed high load its queueing overtakes FG's extra round trips.
+    assert cg_low < fg_low
+    assert fg_high < cg_high

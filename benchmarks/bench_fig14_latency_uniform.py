@@ -1,0 +1,38 @@
+"""Benchmark target for Figure 14 (Appendix A.2): latency, uniform data."""
+
+from repro.experiments import fig13_14_latency
+from repro.experiments.scale import ExperimentScale
+from repro.workloads import OpType
+
+SCALE = ExperimentScale(
+    num_keys=8_000,
+    clients=(10, 120),
+    selectivities=(0.01,),
+    measure_s=0.003,
+)
+
+
+def test_fig14_latency_uniform(benchmark, run_once):
+    results = run_once(fig13_14_latency.run, skewed=False, scale=SCALE)
+    fig13_14_latency.print_figure(results, skewed=False, scale=SCALE)
+
+    low = SCALE.clients[0]
+    latencies = {
+        design: results[(design, "A", low)].latency_mean(OpType.POINT)
+        for design in ("coarse-grained", "fine-grained", "hybrid")
+    }
+    benchmark.extra_info["point_latency_low_load_us"] = {
+        design: value * 1e6 for design, value in latencies.items()
+    }
+    # Paper shape: at light load CG (one RPC round trip) has the lowest
+    # latency; FG (height many round trips) the highest.
+    assert latencies["coarse-grained"] < latencies["hybrid"]
+    assert latencies["hybrid"] < latencies["fine-grained"]
+
+    # Range latency grows with selectivity for every design.
+    sel = SCALE.selectivities[0]
+    for design in ("coarse-grained", "fine-grained"):
+        range_latency = results[(design, f"B(sel={sel})", low)].latency_mean(
+            OpType.RANGE
+        )
+        assert range_latency > latencies[design]

@@ -1,0 +1,35 @@
+"""Benchmark target for Figure 15 (Appendix A.3): co-location effects."""
+
+from repro.experiments import fig15_colocation
+
+
+def test_fig15_colocation(benchmark, run_once, bench_scale):
+    results = run_once(fig15_colocation.run, scale=bench_scale, num_clients=80)
+    fig15_colocation.print_figure(results, bench_scale)
+
+    gains = {}
+    for design in ("fine-grained", "coarse-grained"):
+        distributed = results[(design, "A", False)].throughput
+        colocated = results[(design, "A", True)].throughput
+        gains[design] = colocated / distributed
+    benchmark.extra_info["point_colocation_gain"] = gains
+    # Paper shape: co-location yields a similar constant-factor gain for
+    # both designs (a share of accesses becomes local memory traffic).
+    assert gains["fine-grained"] > 1.3
+    assert gains["coarse-grained"] > 1.3
+
+    # Paper shape: with co-location, CG has the best absolute point-query
+    # throughput. (The paper also reports FG keeping the range-query lead;
+    # at our scaled-down range sizes — a few leaves per scan instead of
+    # thousands — the RPC's fixed-cost efficiency lets CG keep up, so we
+    # only assert the constant-factor gains here; see EXPERIMENTS.md.)
+    assert (
+        results[("coarse-grained", "A", True)].throughput
+        >= results[("fine-grained", "A", True)].throughput * 0.95
+    )
+    sel = bench_scale.selectivities[-1]
+    range_gain = (
+        results[("fine-grained", f"B(sel={sel})", True)].throughput
+        / results[("fine-grained", f"B(sel={sel})", False)].throughput
+    )
+    assert range_gain > 1.3

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures at the
+reduced ``SMALL`` experiment scale (see ``repro/experiments/scale.py``),
+prints the paper-shaped series, and records headline numbers in
+``benchmark.extra_info``. Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Absolute numbers are simulator-scale; EXPERIMENTS.md maps each series to
+the paper's reported shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scale import SMALL
+
+
+@pytest.fixture
+def bench_scale():
+    return SMALL
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Time one full experiment run (a single round — these are macro
+    experiments, not micro-benchmarks)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

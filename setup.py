@@ -1,0 +1,4 @@
+"""Shim for editable installs in environments without PEP 517 wheel support."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro — distributed tree-based index structures for RDMA networks.
+
+A faithful, simulator-backed reproduction of
+
+    Ziegler, Tumkur Vani, Binnig, Fonseca, Kraska.
+    "Designing Distributed Tree-based Index Structures for Fast
+    RDMA-capable Networks." SIGMOD 2019.
+
+Quickstart::
+
+    from repro import Cluster, ClusterConfig, FineGrainedIndex
+
+    cluster = Cluster(ClusterConfig(num_memory_servers=4))
+    compute = cluster.new_compute_server()
+    pairs = [(key, key) for key in range(10_000)]
+    index = FineGrainedIndex.build(cluster, "demo", pairs)
+    session = index.session(compute)
+    assert cluster.execute(session.lookup(1234)) == [1234]
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from repro.config import ClusterConfig, CpuConfig, NetworkConfig, TreeConfig
+from repro.errors import ReproError
+from repro.index import (
+    CoarseGrainedIndex,
+    DistributedIndex,
+    EpochGarbageCollector,
+    FineGrainedIndex,
+    HashPartitioner,
+    HybridIndex,
+    IndexSession,
+    RangePartitioner,
+    cached_session,
+)
+from repro.nam import Cluster, ComputeServer, MemoryServer
+from repro.rdma.tracing import VerbTracer
+from repro.reporting import ascii_chart, results_to_csv, write_csv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "CpuConfig",
+    "NetworkConfig",
+    "TreeConfig",
+    "ReproError",
+    "CoarseGrainedIndex",
+    "DistributedIndex",
+    "EpochGarbageCollector",
+    "FineGrainedIndex",
+    "HashPartitioner",
+    "HybridIndex",
+    "IndexSession",
+    "RangePartitioner",
+    "cached_session",
+    "Cluster",
+    "ComputeServer",
+    "MemoryServer",
+    "VerbTracer",
+    "ascii_chart",
+    "results_to_csv",
+    "write_csv",
+    "__version__",
+]

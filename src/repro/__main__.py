@@ -1,0 +1,148 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — show the reproduced tables/figures and their modules;
+* ``run <experiment> [--small] [--csv PATH]`` — run one experiment
+  harness, print its paper-shaped series, optionally export the raw cells
+  to CSV;
+* ``chart <experiment> [--small]`` — run and render an ASCII chart of the
+  headline series (throughput experiments only).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.scale import DEFAULT, SMALL
+
+EXPERIMENTS = {
+    "fig03": ("Table 2 + Figure 3 (analytical model)", "fig03_analytical"),
+    "fig07": ("Figure 7: throughput, skewed data", "fig07_08_throughput"),
+    "fig08": ("Figure 8: throughput, uniform data", "fig07_08_throughput"),
+    "fig09": ("Figure 9: network utilization", "fig09_network"),
+    "fig10": ("Figure 10: varying data size", "fig10_datasize"),
+    "fig11": ("Figure 11: varying memory servers", "fig11_servers"),
+    "fig12": ("Figure 12: workloads with inserts", "fig12_inserts"),
+    "fig13": ("Figure 13: latency, skewed data", "fig13_14_latency"),
+    "fig14": ("Figure 14: latency, uniform data", "fig13_14_latency"),
+    "fig15": ("Figure 15: co-location", "fig15_colocation"),
+    "a4": ("Appendix A.4: client-side caching", "a4_caching"),
+    "heads": ("Ablation: head-node prefetching", "ablation_head_nodes"),
+    "contention": ("Ablation: insert hotspot spinning", "ablation_insert_contention"),
+    "srq": ("Ablation: shared receive queues", "ablation_srq"),
+    "reqskew": ("Extension: Zipfian request skew", "ext_request_skew"),
+    "cachestrat": ("Extension: caching strategies", "ext_caching_strategies"),
+    "pagesize": ("Extension: page-size sensitivity", "ext_page_size"),
+}
+
+_SKEWED = {"fig07": True, "fig08": False, "fig13": True, "fig14": False}
+
+
+def _load(name: str):
+    import importlib
+
+    try:
+        _title, module_name = EXPERIMENTS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {name!r}; run `python -m repro list`"
+        )
+    return importlib.import_module(f"repro.experiments.{module_name}")
+
+
+def _run_experiment(name: str, scale):
+    module = _load(name)
+    if name in _SKEWED:
+        results = module.run(skewed=_SKEWED[name], scale=scale)
+        module.print_figure(results, _SKEWED[name], scale)
+    elif name == "fig03":
+        module.main()
+        return None
+    elif name in ("a4", "reqskew", "contention", "cachestrat", "pagesize"):
+        results = module.run(scale=scale)
+        module.print_figure(results)
+    else:
+        results = module.run(scale=scale)
+        module.print_figure(results, scale)
+    return results
+
+
+def cmd_list(_args) -> None:
+    width = max(len(key) for key in EXPERIMENTS)
+    for key, (title, module_name) in EXPERIMENTS.items():
+        print(f"{key:<{width}}  {title}  [repro.experiments.{module_name}]")
+
+
+def cmd_run(args) -> None:
+    scale = SMALL if args.small else DEFAULT
+    results = _run_experiment(args.experiment, scale)
+    if args.csv:
+        if results is None:
+            print("(this experiment is analytical; nothing to export)")
+            return
+        from repro.reporting import write_csv
+
+        flat = {
+            key: value[0] if isinstance(value, tuple) else value
+            for key, value in results.items()
+        }
+        write_csv(flat, args.csv)
+        print(f"\nwrote {len(flat)} rows to {args.csv}")
+
+
+def cmd_chart(args) -> None:
+    scale = SMALL if args.small else DEFAULT
+    if args.experiment not in ("fig07", "fig08", "fig12"):
+        raise SystemExit("charting supports fig07, fig08 and fig12")
+    module = _load(args.experiment)
+    if args.experiment in _SKEWED:
+        results = module.run(skewed=_SKEWED[args.experiment], scale=scale)
+    else:
+        results = module.run(scale=scale)
+    from repro.reporting import ascii_chart
+
+    workloads = sorted({workload for _d, workload, _c in results})
+    clients = sorted({c for _d, _w, c in results})
+    designs = sorted({design for design, _w, _c in results})
+    for workload in workloads:
+        series = {
+            design: [results[(design, workload, c)].throughput for c in clients]
+            for design in designs
+        }
+        print()
+        print(
+            ascii_chart(
+                series,
+                clients,
+                title=f"{args.experiment} workload {workload}: ops/s vs clients",
+            )
+        )
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SIGMOD'19 distributed RDMA tree-index reproduction",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list reproduced experiments")
+
+    run_parser = commands.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("--small", action="store_true",
+                            help="use the fast benchmark scale")
+    run_parser.add_argument("--csv", metavar="PATH",
+                            help="export raw cells to CSV")
+
+    chart_parser = commands.add_parser("chart", help="ASCII chart of a sweep")
+    chart_parser.add_argument("experiment", choices=["fig07", "fig08", "fig12"])
+    chart_parser.add_argument("--small", action="store_true")
+
+    args = parser.parse_args(argv)
+    {"list": cmd_list, "run": cmd_run, "chart": cmd_chart}[args.command](args)
+
+
+if __name__ == "__main__":
+    main()

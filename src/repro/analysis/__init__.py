@@ -1,0 +1,10 @@
+"""Analytical scalability model (paper Section 2.3, Tables 1-2, Figure 3)."""
+
+from repro.analysis.model import (
+    ModelParams,
+    ScalabilityModel,
+    figure3_series,
+    format_table2,
+)
+
+__all__ = ["ModelParams", "ScalabilityModel", "figure3_series", "format_table2"]

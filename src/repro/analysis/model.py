@@ -1,0 +1,214 @@
+"""The paper's theoretical scalability model (Section 2.3).
+
+Transcribes Tables 1 and 2: the maximal index throughput of each design is
+the aggregate memory bandwidth the workload can actually use, divided by
+the per-query bandwidth requirement. Reproduces Figure 3 (maximal
+throughput of range queries vs. number of memory servers, uniform and
+skewed).
+
+Schemes (Table 2 columns):
+
+* ``fg``        — fine-grained, one-sided (uniform == skewed);
+* ``cg_range``  — coarse-grained with range partitioning;
+* ``cg_hash``   — coarse-grained with hash partitioning (range queries must
+  traverse the index on *every* server);
+* under skew both coarse-grained variants collapse to the bandwidth of the
+  single hot server.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ModelParams", "ScalabilityModel", "figure3_series", "format_table2"]
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Symbols of Table 1 (with the paper's example values as defaults)."""
+
+    num_servers: int = 4  # S
+    bandwidth_per_server: float = 50e9  # BW (bytes/s)
+    page_size: int = 1024  # P
+    data_size: float = 100e6  # D (tuples)
+    key_size: int = 8  # K
+
+    def __post_init__(self) -> None:
+        if self.num_servers < 1:
+            raise ConfigurationError("num_servers must be >= 1")
+
+    @property
+    def fanout(self) -> int:
+        """M = P / (3 K) — the paper's fanout estimate."""
+        return self.page_size // (3 * self.key_size)
+
+    @property
+    def leaves(self) -> float:
+        """L = D / M."""
+        return self.data_size / self.fanout
+
+    @property
+    def height_fg(self) -> int:
+        """H_FG = log_M(L) — also the CG height under skew."""
+        return max(1, math.ceil(math.log(max(self.leaves, 2), self.fanout)))
+
+    @property
+    def height_cg_uniform(self) -> int:
+        """H_CG(unif) = log_M(L / S)."""
+        per_server = max(self.leaves / self.num_servers, 2)
+        return max(1, math.ceil(math.log(per_server, self.fanout)))
+
+
+class ScalabilityModel:
+    """Step 1-3 of Table 2: bandwidth supply, per-query demand, throughput."""
+
+    SCHEMES = ("fg", "cg_range", "cg_hash")
+
+    def __init__(self, params: ModelParams) -> None:
+        self.params = params
+
+    # -- step 1: available aggregate bandwidth -------------------------------
+
+    def available_bandwidth(self, scheme: str, skewed: bool) -> float:
+        """S*BW, except for coarse-grained under skew: the hot server's BW."""
+        self._check_scheme(scheme)
+        p = self.params
+        if skewed and scheme != "fg":
+            return p.bandwidth_per_server
+        return p.num_servers * p.bandwidth_per_server
+
+    # -- step 2: per-query bandwidth requirement ---------------------------------
+
+    def _height(self, scheme: str, skewed: bool) -> int:
+        if scheme == "fg" or skewed:
+            return self.params.height_fg
+        return self.params.height_cg_uniform
+
+    def point_query_bytes(self, scheme: str, skewed: bool, z: float = 10.0) -> float:
+        """H*P, plus z*P read amplification under skew (Table 2, row 'Point')."""
+        self._check_scheme(scheme)
+        p = self.params
+        traversal = self._height(scheme, skewed) * p.page_size
+        if skewed:
+            traversal += z * p.page_size
+        return traversal
+
+    def range_query_bytes(
+        self, scheme: str, skewed: bool, selectivity: float, z: float = 10.0
+    ) -> float:
+        """H*P (+ S-fold for hash) + sel*L*P leaf bytes (Table 2, row 'Range')."""
+        self._check_scheme(scheme)
+        p = self.params
+        height = self._height(scheme, skewed)
+        traversals = height * p.page_size
+        if scheme == "cg_hash":
+            traversals *= p.num_servers
+        sel = selectivity * (z if skewed else 1.0)
+        return traversals + sel * p.leaves * p.page_size
+
+    # -- step 3: maximal throughput -----------------------------------------------
+
+    def max_point_throughput(
+        self, scheme: str, skewed: bool, z: float = 10.0
+    ) -> float:
+        return self.available_bandwidth(scheme, skewed) / self.point_query_bytes(
+            scheme, skewed, z
+        )
+
+    def max_range_throughput(
+        self, scheme: str, skewed: bool, selectivity: float, z: float = 10.0
+    ) -> float:
+        return self.available_bandwidth(scheme, skewed) / self.range_query_bytes(
+            scheme, skewed, selectivity, z
+        )
+
+    def _check_scheme(self, scheme: str) -> None:
+        if scheme not in self.SCHEMES:
+            raise ConfigurationError(
+                f"unknown scheme {scheme!r}; expected one of {self.SCHEMES}"
+            )
+
+
+def figure3_series(
+    servers: Sequence[int] = (2, 4, 8, 16, 32, 64),
+    selectivity: float = 0.001,
+    z: float = 10.0,
+    base: ModelParams = None,
+) -> Dict[str, List[float]]:
+    """Figure 3: max range-query throughput vs. number of memory servers.
+
+    Returns four series keyed like the figure's legend. Under skew the two
+    coarse-grained variants coincide (one hot server), as in the paper.
+    """
+    if base is None:
+        base = ModelParams()
+    out: Dict[str, List[float]] = {
+        "fg (unif/skew)": [],
+        "cg_range (unif)": [],
+        "cg_hash (unif)": [],
+        "cg_range/hash (skew)": [],
+    }
+    for s in servers:
+        params = ModelParams(
+            num_servers=s,
+            bandwidth_per_server=base.bandwidth_per_server,
+            page_size=base.page_size,
+            data_size=base.data_size,
+            key_size=base.key_size,
+        )
+        model = ScalabilityModel(params)
+        out["fg (unif/skew)"].append(
+            model.max_range_throughput("fg", False, selectivity, z)
+        )
+        out["cg_range (unif)"].append(
+            model.max_range_throughput("cg_range", False, selectivity, z)
+        )
+        out["cg_hash (unif)"].append(
+            model.max_range_throughput("cg_hash", False, selectivity, z)
+        )
+        out["cg_range/hash (skew)"].append(
+            model.max_range_throughput("cg_range", True, selectivity, z)
+        )
+    return out
+
+
+def format_table2(
+    params: ModelParams = None, selectivity: float = 0.001, z: float = 10.0
+) -> str:
+    """Render Table 2 (bandwidth supply/demand and max throughput)."""
+    if params is None:
+        params = ModelParams()
+    model = ScalabilityModel(params)
+    lines = [
+        f"Table 2 (S={params.num_servers}, BW={params.bandwidth_per_server / 1e9:.0f} GB/s, "
+        f"P={params.page_size} B, D={params.data_size:,.0f}, M={params.fanout}, "
+        f"L={params.leaves:,.0f}, H_FG={params.height_fg}, "
+        f"H_CG_unif={params.height_cg_uniform})",
+        f"{'':28s}{'fg':>14s}{'cg_range':>14s}{'cg_hash':>14s}",
+    ]
+
+    def row(label, fn):
+        cells = "".join(f"{fn(scheme):>14,.0f}" for scheme in ScalabilityModel.SCHEMES)
+        lines.append(f"{label:28s}{cells}")
+
+    row("avail BW (unif, GB/s)",
+        lambda s: model.available_bandwidth(s, False) / 1e9)
+    row("avail BW (skew, GB/s)",
+        lambda s: model.available_bandwidth(s, True) / 1e9)
+    row("point bytes (unif)", lambda s: model.point_query_bytes(s, False, z))
+    row("point bytes (skew)", lambda s: model.point_query_bytes(s, True, z))
+    row(f"range bytes (unif, s={selectivity})",
+        lambda s: model.range_query_bytes(s, False, selectivity, z))
+    row(f"range bytes (skew, sz={selectivity * z})",
+        lambda s: model.range_query_bytes(s, True, selectivity, z))
+    row("max point Q/s (unif)", lambda s: model.max_point_throughput(s, False, z))
+    row("max point Q/s (skew)", lambda s: model.max_point_throughput(s, True, z))
+    row("max range Q/s (unif)",
+        lambda s: model.max_range_throughput(s, False, selectivity, z))
+    row("max range Q/s (skew)",
+        lambda s: model.max_range_throughput(s, True, selectivity, z))
+    return "\n".join(lines)

@@ -1,0 +1,232 @@
+"""Bottom-up bulk construction of B-link trees.
+
+The paper's experiments load 10M-1B pre-sorted key/value pairs before
+running any workload. Building that through the insert path would simulate
+millions of uninteresting RDMA operations, so — like every real system —
+we bulk-load: pages are constructed bottom-up and written straight into the
+memory servers' regions at *construction time* (no simulated traffic).
+
+Placement is a policy callback, which is exactly where the three designs
+differ:
+
+* coarse-grained: all pages of a partition tree on the partition's server;
+* fine-grained: every page round-robin across all servers;
+* hybrid: leaves round-robin across all servers, inner pages on the
+  partition owner.
+
+The loader also installs head nodes every ``head_interval`` leaves
+(Section 4.3) and links each leaf to its group's head node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Protocol, Sequence, Tuple
+
+from repro.btree.node import MAX_KEY, Node, NodeType, fanout
+from repro.btree.pointers import NULL_RAW, encode_pointer
+from repro.errors import IndexError_
+
+__all__ = ["PageSink", "BulkLoadResult", "bulk_load"]
+
+
+class PageSink(Protocol):
+    """Direct (non-simulated) page storage used at load time."""
+
+    page_size: int
+
+    def alloc_page(self, server_id: int) -> int:
+        """Reserve a page on *server_id*; returns its byte offset."""
+
+    def write_page(self, server_id: int, offset: int, data: bytes) -> None:
+        """Store a page image."""
+
+
+class BulkLoadResult:
+    """What a bulk load produced."""
+
+    def __init__(self) -> None:
+        self.root_raw: int = NULL_RAW
+        self.num_leaves = 0
+        self.num_inner = 0
+        self.num_heads = 0
+        self.height = 0
+        self.pages_per_server: Dict[int, int] = {}
+
+    def _count_page(self, server_id: int) -> None:
+        self.pages_per_server[server_id] = self.pages_per_server.get(server_id, 0) + 1
+
+
+def _chunk_runs(
+    keys: Sequence[int], per_node: int, capacity: int
+) -> List[Tuple[int, int]]:
+    """Split ``range(len(keys))`` into ``[start, end)`` chunks of roughly
+    *per_node* entries, never splitting a run of equal keys across chunks
+    (duplicate runs must not straddle the leaf fence)."""
+    chunks: List[Tuple[int, int]] = []
+    total = len(keys)
+    start = 0
+    while start < total:
+        end = min(start + per_node, total)
+        while end < total and keys[end] == keys[end - 1]:
+            end += 1
+        if end - start > capacity:
+            raise IndexError_(
+                "a run of equal keys exceeds the page capacity; "
+                "use a larger page size"
+            )
+        chunks.append((start, end))
+        start = end
+    return chunks
+
+
+def bulk_load(
+    pairs: Sequence[Tuple[int, int]],
+    sink: PageSink,
+    place_leaf: Callable[[int], int],
+    place_inner: Callable[[int, int], int],
+    fill: float = 0.7,
+    head_interval: int = 0,
+    place_head: Callable[[int], int] = None,
+    min_height: int = 1,
+) -> BulkLoadResult:
+    """Build a tree from sorted *pairs* and return its root pointer.
+
+    ``place_leaf(i)`` / ``place_inner(level, i)`` / ``place_head(i)`` map the
+    i-th page of a level to a memory-server id. *pairs* must be sorted by
+    key (duplicates allowed); an empty sequence produces a single empty
+    leaf. The resulting tree always spans the full key domain
+    ``[0, MAX_KEY)`` — partition bounds are enforced by routing, not
+    by fences — so the runtime algorithms' move-right invariants hold.
+    """
+    result = BulkLoadResult()
+    capacity = fanout(sink.page_size)
+    per_node = max(2, min(capacity, int(capacity * fill)))
+    if place_head is None:
+        place_head = place_leaf
+
+    keys = [k for k, _v in pairs]
+    if keys != sorted(keys):
+        raise IndexError_("bulk_load requires key-sorted input")
+
+    # ---- leaf level --------------------------------------------------------
+    if pairs:
+        chunks = _chunk_runs(keys, per_node, capacity)
+    else:
+        chunks = [(0, 0)]
+    leaves: List[Node] = []
+    leaf_ptrs: List[int] = []
+    for i, (start, end) in enumerate(chunks):
+        node = Node(
+            NodeType.LEAF,
+            level=0,
+            keys=[k for k, _v in pairs[start:end]],
+            values=[v for _k, v in pairs[start:end]],
+        )
+        server = place_leaf(i)
+        offset = sink.alloc_page(server)
+        leaves.append(node)
+        leaf_ptrs.append(encode_pointer(server, offset))
+        result._count_page(server)
+    for i, node in enumerate(leaves):
+        if i + 1 < len(leaves):
+            node.right = leaf_ptrs[i + 1]
+            node.high_key = leaves[i + 1].keys[0]
+        else:
+            node.right = NULL_RAW
+            node.high_key = MAX_KEY
+    result.num_leaves = len(leaves)
+
+    # ---- head nodes (Section 4.3) -------------------------------------------
+    if head_interval and len(leaves) > 1:
+        head_ptrs: List[int] = []
+        head_nodes: List[Node] = []
+        for group_index, group_start in enumerate(range(0, len(leaves), head_interval)):
+            group = range(group_start, min(group_start + head_interval, len(leaves)))
+            head = Node(
+                NodeType.HEAD,
+                level=0,
+                keys=[leaves[i].keys[0] if leaves[i].keys else 0 for i in group],
+                values=[leaf_ptrs[i] for i in group],
+            )
+            server = place_head(group_index)
+            offset = sink.alloc_page(server)
+            raw = encode_pointer(server, offset)
+            head_ptrs.append(raw)
+            head_nodes.append(head)
+            result._count_page(server)
+            for i in group:
+                leaves[i].head = raw
+        for i, head in enumerate(head_nodes):
+            head.right = head_ptrs[i + 1] if i + 1 < len(head_ptrs) else NULL_RAW
+            sink.write_page(*_decode(head_ptrs[i]), head.to_bytes(sink.page_size))
+        result.num_heads = len(head_nodes)
+
+    for ptr, node in zip(leaf_ptrs, leaves):
+        sink.write_page(*_decode(ptr), node.to_bytes(sink.page_size))
+
+    # ---- inner levels --------------------------------------------------------
+    level = 1
+    child_ptrs = leaf_ptrs
+    child_fences = [0] + [node.high_key for node in leaves[:-1]]
+    while len(child_ptrs) > 1:
+        groups = [
+            (i, min(i + per_node, len(child_ptrs)))
+            for i in range(0, len(child_ptrs), per_node)
+        ]
+        inner_nodes: List[Node] = []
+        inner_ptrs: List[int] = []
+        for i, (start, end) in enumerate(groups):
+            node = Node(
+                NodeType.INNER,
+                level=level,
+                keys=child_fences[start:end],
+                values=child_ptrs[start:end],
+            )
+            server = place_inner(level, i)
+            offset = sink.alloc_page(server)
+            inner_nodes.append(node)
+            inner_ptrs.append(encode_pointer(server, offset))
+            result._count_page(server)
+        for i, node in enumerate(inner_nodes):
+            if i + 1 < len(inner_nodes):
+                node.right = inner_ptrs[i + 1]
+                node.high_key = inner_nodes[i + 1].keys[0]
+            else:
+                node.right = NULL_RAW
+                node.high_key = MAX_KEY
+            sink.write_page(*_decode(inner_ptrs[i]), node.to_bytes(sink.page_size))
+        result.num_inner += len(inner_nodes)
+        child_ptrs = inner_ptrs
+        child_fences = [node.keys[0] for node in inner_nodes]
+        child_fences[0] = 0
+        level += 1
+
+    # The hybrid design keeps all inner levels server-resident and needs at
+    # least one inner node above the leaves even for tiny partitions.
+    while level < min_height:
+        root = Node(
+            NodeType.INNER,
+            level=level,
+            keys=[0],
+            values=[child_ptrs[0]],
+            high_key=MAX_KEY,
+        )
+        server = place_inner(level, 0)
+        offset = sink.alloc_page(server)
+        raw = encode_pointer(server, offset)
+        sink.write_page(server, offset, root.to_bytes(sink.page_size))
+        result._count_page(server)
+        result.num_inner += 1
+        child_ptrs = [raw]
+        level += 1
+
+    result.root_raw = child_ptrs[0]
+    result.height = level
+    return result
+
+
+def _decode(raw: int) -> Tuple[int, int]:
+    from repro.btree.pointers import RemotePointer
+
+    ptr = RemotePointer.from_raw(raw)
+    return ptr.server_id, ptr.offset

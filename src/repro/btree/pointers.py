@@ -1,0 +1,80 @@
+"""Remote memory pointers.
+
+The fine-grained index connects nodes across memory servers with 8-byte
+*remote pointers* (Section 4.1): a null bit, a 7-bit memory-server id, and a
+56-bit offset into that server's registered region. This module defines the
+encoding plus a convenience wrapper class.
+
+Raw encoding (64 bits)::
+
+    bit 63        : null bit (1 = NULL pointer)
+    bits 56..62   : memory-server id (0..127)
+    bits 0..55    : byte offset into the server's region
+
+The all-zero word is *also* treated as NULL so that zero-initialized memory
+reads as "no pointer" (offset 0 of every region holds the allocator word and
+can never address a node).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import RemoteAccessError
+
+__all__ = [
+    "NULL_RAW",
+    "RemotePointer",
+    "encode_pointer",
+    "is_null",
+]
+
+#: Canonical raw value of a NULL remote pointer (null bit set).
+NULL_RAW = 1 << 63
+
+_SERVER_SHIFT = 56
+_OFFSET_MASK = (1 << 56) - 1
+_SERVER_MASK = 0x7F
+
+
+def encode_pointer(server_id: int, offset: int) -> int:
+    """Pack ``(server_id, offset)`` into a raw 64-bit remote pointer.
+
+    ``(0, 0)`` is rejected: its encoding collides with the all-zero NULL
+    word. Offset 0 of every region holds the allocation word, never a
+    node, so no valid pointer is lost.
+    """
+    if not 0 <= server_id <= _SERVER_MASK:
+        raise RemoteAccessError(f"server id {server_id} does not fit in 7 bits")
+    if not 0 <= offset <= _OFFSET_MASK:
+        raise RemoteAccessError(f"offset {offset} does not fit in 56 bits")
+    if server_id == 0 and offset == 0:
+        raise RemoteAccessError(
+            "(server 0, offset 0) is reserved — it encodes as the NULL word"
+        )
+    return (server_id << _SERVER_SHIFT) | offset
+
+
+def is_null(raw: int) -> bool:
+    """True if *raw* encodes a NULL remote pointer."""
+    return raw == 0 or bool(raw & NULL_RAW)
+
+
+class RemotePointer(NamedTuple):
+    """Decoded remote pointer: which server, which offset."""
+
+    server_id: int
+    offset: int
+
+    @classmethod
+    def from_raw(cls, raw: int) -> "RemotePointer":
+        if is_null(raw):
+            raise RemoteAccessError("cannot decode a NULL remote pointer")
+        return cls((raw >> _SERVER_SHIFT) & _SERVER_MASK, raw & _OFFSET_MASK)
+
+    @property
+    def raw(self) -> int:
+        return encode_pointer(self.server_id, self.offset)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemotePointer(server={self.server_id}, offset={self.offset:#x})"

@@ -1,0 +1,156 @@
+"""Configuration dataclasses for the simulated NAM cluster.
+
+The defaults model a scaled-down version of the paper's testbed (Section 6):
+InfiniBand FDR 4x (dual-port Mellanox Connect-IB), machines with two sockets
+where the NIC is attached to socket 0, and two memory servers per physical
+machine — each memory server owning one NIC port.
+
+All times are in (virtual) seconds, all sizes in bytes, all rates in
+bytes/second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["NetworkConfig", "CpuConfig", "TreeConfig", "ClusterConfig"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Parameters of the simulated RDMA fabric.
+
+    ``one_way_latency_s`` is the switch+wire propagation delay of a message;
+    an RDMA READ therefore costs at least two of these. Bandwidth is modeled
+    per NIC port and direction; ``message_overhead_s`` is the per-message
+    NIC processing time that caps verb rates.
+    """
+
+    one_way_latency_s: float = 1.5e-6
+    port_bandwidth_bytes_per_s: float = 6.0e9  # FDR 4x: ~6.8 GB/s raw
+    message_overhead_s: float = 0.05e-6
+    #: Wire size of a one-sided request header (READ/WRITE/atomic request).
+    request_wire_bytes: int = 32
+    #: Wire size added to every payload-carrying message (headers/CRC).
+    header_wire_bytes: int = 16
+    #: Extra serialization delay for atomic verbs at the responder NIC.
+    atomic_extra_latency_s: float = 0.3e-6
+    #: Local-memory fast path (co-located compute+memory, Appendix A.3).
+    local_access_latency_s: float = 0.2e-6
+    local_memory_bandwidth_bytes_per_s: float = 50.0e9
+
+    def __post_init__(self) -> None:
+        if self.one_way_latency_s < 0:
+            raise ConfigurationError("one_way_latency_s must be >= 0")
+        if self.port_bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("port_bandwidth_bytes_per_s must be > 0")
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """CPU cost model for memory-server RPC handling (two-sided designs).
+
+    A memory server has ``cores_per_server`` RPC worker threads; each RPC
+    occupies one worker for its whole service time, including spin waits —
+    this is what makes CG/hybrid degrade under write contention (Figure 12).
+    ``qpi_penalty`` multiplies all CPU costs of memory servers whose socket
+    does not own the NIC (the second server on each physical machine,
+    Section 6.1).
+    """
+
+    cores_per_server: int = 4
+    rpc_fixed_cost_s: float = 2.0e-6
+    per_node_cost_s: float = 0.4e-6
+    #: Per response byte: tuple-at-a-time qualification + serialization on
+    #: the worker (~2.5 GB/s per core). This is what makes large range
+    #: scans CPU-bind the two-sided designs, as the paper observes.
+    per_byte_cost_s: float = 0.4e-9
+    spin_wait_slice_s: float = 0.5e-6
+    qpi_penalty: float = 1.35
+    #: Shared receive queues (Section 3.2): with SRQs (the paper's choice)
+    #: incoming RPCs land in one queue regardless of the client count.
+    #: Without them, workers poll one receive queue per connected client,
+    #: adding ``receive_queue_poll_cost_s`` per connection to every RPC —
+    #: which is why SRQs "better scale-out with the number of clients".
+    use_srq: bool = True
+    receive_queue_poll_cost_s: float = 0.02e-6
+    #: CPU time a compute-side client spends per node when executing a
+    #: traversal locally (co-located CG fast path) or searching a fetched copy.
+    client_per_node_cost_s: float = 0.2e-6
+
+    def __post_init__(self) -> None:
+        if self.cores_per_server < 1:
+            raise ConfigurationError("cores_per_server must be >= 1")
+        if self.qpi_penalty < 1.0:
+            raise ConfigurationError("qpi_penalty must be >= 1.0")
+
+
+@dataclass(frozen=True)
+class TreeConfig:
+    """B-link tree page parameters (paper Table 1: P, K, fanout M)."""
+
+    page_size: int = 1024
+    #: Target fill fraction for bulk-loaded leaves/inner nodes.
+    bulk_fill: float = 0.70
+    #: A head node is installed for every ``head_node_interval`` leaves
+    #: (Section 4.3); 0 disables head nodes.
+    head_node_interval: int = 8
+    #: Max parallel one-sided READs a scan issues from one head node.
+    prefetch_window: int = 8
+
+    def __post_init__(self) -> None:
+        if self.page_size < 128:
+            raise ConfigurationError("page_size must be >= 128 bytes")
+        if not 0.1 <= self.bulk_fill <= 1.0:
+            raise ConfigurationError("bulk_fill must be in [0.1, 1.0]")
+        if self.head_node_interval < 0:
+            raise ConfigurationError("head_node_interval must be >= 0")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Topology of the simulated NAM cluster.
+
+    The paper's throughput experiments use 4 memory servers on 2 physical
+    machines (2 servers/machine, one NIC port each) and 1-6 compute servers
+    with 40 client threads each; those are the defaults here.
+    """
+
+    num_memory_servers: int = 4
+    memory_servers_per_machine: int = 2
+    clients_per_compute_server: int = 40
+    #: Initial/maximum registered region size per memory server. Regions
+    #: grow on demand up to the maximum.
+    region_initial_bytes: int = 1 << 21
+    region_max_bytes: int = 1 << 28
+    #: Co-locate compute servers with memory servers on the same physical
+    #: machines (Appendix A.3). Local accesses then bypass the NIC.
+    colocated: bool = False
+    seed: int = 42
+
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    tree: TreeConfig = field(default_factory=TreeConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_memory_servers < 1:
+            raise ConfigurationError("need at least one memory server")
+        if self.memory_servers_per_machine < 1:
+            raise ConfigurationError("memory_servers_per_machine must be >= 1")
+        if self.num_memory_servers > 128:
+            raise ConfigurationError(
+                "remote pointers encode the server id in 7 bits; "
+                "at most 128 memory servers are supported"
+            )
+
+    @property
+    def num_machines(self) -> int:
+        """Physical machines hosting the memory servers."""
+        full, rem = divmod(self.num_memory_servers, self.memory_servers_per_machine)
+        return full + (1 if rem else 0)
+
+    def with_(self, **changes) -> "ClusterConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly (e.g. negative delay)."""
+
+
+class NetworkError(ReproError):
+    """An RDMA-level failure (bad remote address, unregistered memory, ...)."""
+
+
+class RemoteAccessError(NetworkError):
+    """A one-sided verb referenced memory outside a registered region."""
+
+
+class AllocationError(ReproError):
+    """A memory server ran out of registered memory."""
+
+
+class IndexError_(ReproError):
+    """An index-level protocol failure (named with a trailing underscore to
+    avoid shadowing the builtin :class:`IndexError`)."""
+
+
+class CatalogError(ReproError):
+    """Catalog lookup failed (unknown index name, missing root pointer)."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid cluster/workload configuration was supplied."""

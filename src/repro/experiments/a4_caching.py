@@ -1,0 +1,106 @@
+"""Appendix A.4: opportunities and challenges of client-side caching.
+
+Runs the fine-grained design with and without the inner-node cache
+(:mod:`repro.index.caching`) on a read-only point workload — where caching
+saves most of the traversal round trips — and on an insert-heavy workload,
+where invalidations and TTL expiry erode the benefit. Reports throughput
+and the cache hit rate.
+
+Run with ``python -m repro.experiments.a4_caching``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.common import build_cluster, build_index, format_rate, print_table
+from repro.experiments.scale import DEFAULT, ExperimentScale, measure_window
+from repro.index.caching import cached_session
+from repro.workloads import (
+    RunResult,
+    WorkloadRunner,
+    generate_dataset,
+    workload_a,
+    workload_d,
+)
+
+__all__ = ["run", "print_figure", "main"]
+
+#: (workload name, cached)
+Key = Tuple[str, bool]
+
+
+class _CachedIndexProxy:
+    """Wraps a fine-grained index so every session carries the node cache."""
+
+    def __init__(self, index, ttl_s: float) -> None:
+        self._index = index
+        self.design = index.design + "+cache"
+        self.ttl_s = ttl_s
+        self.accessors = []
+
+    def session(self, compute_server):
+        session = cached_session(self._index, compute_server, ttl_s=self.ttl_s)
+        self.accessors.append(session._tree.acc)
+        return session
+
+
+def run(
+    scale: ExperimentScale = DEFAULT, num_clients: int = 80, ttl_s: float = 0.01
+) -> Dict[Key, Tuple[RunResult, float]]:
+    """Returns ``(RunResult, cache hit rate)`` per (workload, cached) cell."""
+    results: Dict[Key, Tuple[RunResult, float]] = {}
+    for spec in (workload_a(), workload_d()):
+        for cached in (False, True):
+            dataset = generate_dataset(scale.num_keys, scale.gap)
+            cluster = build_cluster(scale)
+            index = build_index(cluster, "fine-grained", dataset)
+            target = _CachedIndexProxy(index, ttl_s) if cached else index
+            runner = WorkloadRunner(cluster, dataset)
+            result = runner.run(
+                target,
+                spec,
+                num_clients=num_clients,
+                warmup_s=scale.warmup_s,
+                measure_s=measure_window(scale),
+                seed=scale.seed,
+            )
+            hit_rate = 0.0
+            if cached and target.accessors:
+                hits = sum(accessor.hits for accessor in target.accessors)
+                misses = sum(accessor.misses for accessor in target.accessors)
+                hit_rate = hits / (hits + misses) if hits + misses else 0.0
+            results[(spec.name, cached)] = (result, hit_rate)
+    return results
+
+
+def print_figure(results: Dict[Key, Tuple[RunResult, float]]) -> None:
+    """Print the paper-shaped series for *results*."""
+    for spec_name in ("A", "D"):
+        base, _ = results[(spec_name, False)]
+        cached, hit_rate = results[(spec_name, True)]
+        gain = cached.throughput / base.throughput if base.throughput else 0.0
+        rows = {
+            "fine-grained": [format_rate(base.throughput), "-", "-"],
+            "fine-grained+cache": [
+                format_rate(cached.throughput),
+                f"{hit_rate * 100:.0f}%",
+                f"{gain:.2f}x",
+            ],
+        }
+        print_table(
+            f"Appendix A.4 - workload {spec_name}: inner-node caching "
+            "(80 clients, uniform)",
+            ["throughput", "hit rate", "gain"],
+            rows,
+            col_header="",
+        )
+
+
+def main() -> None:
+    """CLI entry point."""
+    print_figure(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Ablation: head-node prefetching for range scans (Section 4.3).
+
+Runs the fine-grained design's range workload with head nodes enabled vs.
+disabled, at *light* load: prefetching is a latency optimization ("masking
+network transfer", as the paper puts it) — it shortens scans while ports
+are idle, and is throughput-neutral once the NICs saturate (the extra
+head-page reads then just cost bandwidth). With head nodes, a scan discovers upcoming leaf pointers early
+and issues the READs in parallel ("selectively signaled"), masking the
+per-leaf round trip; without them the leaf chain is pointer-chased
+serially. The benefit shows up in scan latency (and throughput at equal
+client counts), at the price of one extra page read per leaf group.
+
+Run with ``python -m repro.experiments.ablation_head_nodes``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.common import build_cluster, format_rate, print_table
+from repro.experiments.scale import DEFAULT, ExperimentScale, measure_window
+from repro.index import FineGrainedIndex
+from repro.workloads import (
+    OpType,
+    RunResult,
+    WorkloadRunner,
+    generate_dataset,
+    workload_b,
+)
+
+__all__ = ["run", "print_figure", "main"]
+
+#: (selectivity, heads enabled)
+Key = Tuple[float, bool]
+
+#: Prefetch only matters once a scan spans several leaf groups, so the
+#: ablation uses higher selectivities than the throughput figures.
+SELECTIVITIES = (0.01, 0.05, 0.1)
+
+
+def run(
+    scale: ExperimentScale = DEFAULT, num_clients: int = 4
+) -> Dict[Key, RunResult]:
+    """Run this experiment's grid; returns the per-cell results."""
+    results: Dict[Key, RunResult] = {}
+    for selectivity in SELECTIVITIES:
+        for heads in (False, True):
+            dataset = generate_dataset(scale.num_keys, scale.gap)
+            cluster = build_cluster(scale)
+            index = FineGrainedIndex.build(
+                cluster,
+                "ablate",
+                dataset.pairs(),
+                head_interval=cluster.config.tree.head_node_interval if heads else 0,
+            )
+            runner = WorkloadRunner(cluster, dataset)
+            spec = workload_b(selectivity)
+            results[(selectivity, heads)] = runner.run(
+                index,
+                spec,
+                num_clients=num_clients,
+                warmup_s=scale.warmup_s,
+                measure_s=measure_window(scale, selectivity),
+                seed=scale.seed,
+            )
+    return results
+
+
+def print_figure(results: Dict[Key, RunResult], scale: ExperimentScale) -> None:
+    """Print the paper-shaped series for *results*."""
+    rows = {}
+    for heads in (False, True):
+        label = "with head nodes" if heads else "no head nodes"
+        cells = []
+        for selectivity in SELECTIVITIES:
+            result = results[(selectivity, heads)]
+            latency = result.latency_mean(OpType.RANGE)
+            cells.append(
+                f"{format_rate(result.throughput)}/{latency * 1e6:.0f}us"
+            )
+        rows[label] = cells
+    print_table(
+        "Ablation (Sec 4.3) - fine-grained range scans, light load: "
+        "throughput / mean latency",
+        [f"sel={s}" for s in SELECTIVITIES],
+        rows,
+        col_header="",
+    )
+
+
+def main() -> None:
+    """CLI entry point."""
+    print_figure(run(), DEFAULT)
+
+
+if __name__ == "__main__":
+    main()

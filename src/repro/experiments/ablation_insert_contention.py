@@ -1,0 +1,106 @@
+"""Ablation: spin-lock contention under write hotspots (Section 6.3).
+
+The paper explains Figure 12's high-load behaviour by lock waiting *on the
+memory servers*: in the two-sided designs, an RPC worker that hits a locked
+node busy-waits on its core and "cannot accept lookups/inserts from other
+clients", whereas the fine-grained design's clients spin *remotely* and
+leave the memory servers free to serve everyone else.
+
+This ablation separates the two effects with dedicated client populations:
+one population of pure point-query readers, one population of *append*
+inserters (YCSB-style monotonic keys — every writer contends on the same
+rightmost leaf). Per design it reports:
+
+* reader throughput — the collateral damage of writer spinning;
+* insert throughput — the cost of holding a contended lock across network
+  round trips (the one-sided design's weakness);
+* the hottest memory server's CPU utilization — where the spinning burns.
+
+Run with ``python -m repro.experiments.ablation_insert_contention``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import (
+    DESIGNS,
+    build_cluster,
+    build_index,
+    format_rate,
+    print_table,
+)
+from repro.experiments.scale import DEFAULT, ExperimentScale
+from repro.workloads import (
+    OpType,
+    RunResult,
+    WorkloadRunner,
+    WorkloadSpec,
+    generate_dataset,
+    workload_a,
+)
+
+__all__ = ["run", "print_figure", "main", "append_only_workload"]
+
+
+def append_only_workload() -> WorkloadSpec:
+    """100% rightmost-leaf (append) inserts."""
+    return WorkloadSpec(
+        name="append", insert_fraction=1.0, insert_pattern="append"
+    )
+
+
+def run(
+    scale: ExperimentScale = DEFAULT,
+    readers: int = 80,
+    writers: int = 40,
+) -> Dict[str, RunResult]:
+    """Run this experiment's grid; returns the per-cell results."""
+    results: Dict[str, RunResult] = {}
+    for design in DESIGNS:
+        dataset = generate_dataset(scale.num_keys, scale.gap)
+        cluster = build_cluster(scale)
+        index = build_index(cluster, design, dataset)
+        runner = WorkloadRunner(cluster, dataset)
+        results[design] = runner.run(
+            index,
+            populations=[
+                (workload_a(), readers),
+                (append_only_workload(), writers),
+            ],
+            warmup_s=scale.warmup_s,
+            measure_s=scale.measure_s,
+            seed=scale.seed,
+        )
+    return results
+
+
+def print_figure(
+    results: Dict[str, RunResult], readers: int = 80, writers: int = 40
+) -> None:
+    """Print the paper-shaped series for *results*."""
+    rows = {}
+    for design, result in results.items():
+        hot_cpu = max(result.cpu_utilization.values()) if result.cpu_utilization else 0
+        rows[design] = [
+            format_rate(result.throughput_of(OpType.POINT)),
+            format_rate(result.throughput_of(OpType.INSERT)),
+            f"{hot_cpu * 100:.0f}%",
+        ]
+    print_table(
+        f"Ablation (Sec 6.3) - {readers} readers + {writers} append-writers: "
+        "where does spinning hurt?",
+        ["reads/s", "inserts/s", "hot CPU"],
+        rows,
+        col_header="",
+    )
+
+
+def main() -> None:
+    """CLI entry point."""
+    results = run()
+    print_figure(results)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Ablation: shared receive queues vs. per-client receive queues.
+
+Section 3.2: "to better scale-out with the number of clients, we are
+using shared receive queues (SRQs) to handle the RDMA RECEIVE operations
+on the memory servers. SRQs allow all incoming clients to be mapped to a
+fixed number of receive queues, instead of using one receive queue per
+client."
+
+This ablation runs the coarse-grained design's point-query workload with
+SRQs on (the paper's choice) and off (per-client receive queues: every
+RPC pays a poll across all connected queue pairs) over growing client
+counts. Expected shape: identical at few clients, and a widening gap as
+connections accumulate.
+
+Run with ``python -m repro.experiments.ablation_srq``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Tuple
+
+from repro.config import ClusterConfig
+from repro.experiments.common import build_index, format_rate, print_table
+from repro.experiments.scale import DEFAULT, ExperimentScale
+from repro.nam.cluster import Cluster
+from repro.workloads import RunResult, WorkloadRunner, generate_dataset, workload_a
+
+__all__ = ["run", "print_figure", "main"]
+
+#: (use_srq, num_clients)
+Key = Tuple[bool, int]
+
+
+def run(scale: ExperimentScale = DEFAULT) -> Dict[Key, RunResult]:
+    """Run this experiment's grid; returns the per-cell results."""
+    results: Dict[Key, RunResult] = {}
+    for use_srq in (True, False):
+        for num_clients in scale.clients:
+            dataset = generate_dataset(scale.num_keys, scale.gap)
+            config = ClusterConfig(
+                num_memory_servers=scale.num_memory_servers,
+                memory_servers_per_machine=scale.memory_servers_per_machine,
+                seed=scale.seed,
+            )
+            config = config.with_(cpu=replace(config.cpu, use_srq=use_srq))
+            cluster = Cluster(config)
+            index = build_index(cluster, "coarse-grained", dataset)
+            runner = WorkloadRunner(cluster, dataset)
+            results[(use_srq, num_clients)] = runner.run(
+                index,
+                workload_a(),
+                num_clients=num_clients,
+                warmup_s=scale.warmup_s,
+                measure_s=scale.measure_s,
+                seed=scale.seed,
+            )
+    return results
+
+
+def print_figure(results: Dict[Key, RunResult], scale: ExperimentScale) -> None:
+    """Print the paper-shaped series for *results*."""
+    rows = {
+        label: [
+            format_rate(results[(use_srq, c)].throughput) for c in scale.clients
+        ]
+        for label, use_srq in (
+            ("shared receive queues", True),
+            ("per-client queues", False),
+        )
+    }
+    print_table(
+        "Ablation (Sec 3.2) - coarse-grained point queries: SRQ vs. "
+        "per-client receive queues",
+        scale.clients,
+        rows,
+    )
+
+
+def main() -> None:
+    """CLI entry point."""
+    print_figure(run(), DEFAULT)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+"""Extension: tree-aware caching strategies (Appendix A.4 future work).
+
+A.4 closes with: "there is a need for developing new caching strategies
+that take the particularities of tree-based indexes into account to
+decide whether or not to cache an index node." This extension compares
+three such strategies on the fine-grained design, for a read-only and a
+write-heavy workload:
+
+* ``none``       — no caching (the baseline FG design);
+* ``all-inner``  — cache every inner node (LRU + TTL);
+* ``top-levels`` — cache only levels >= 2: fewer and hotter pages whose
+  contents change orders of magnitude less often than the leaves'
+  parents, so a longer TTL is safe.
+
+Reported per strategy: throughput, cache hit rate, and the remote READs
+issued per operation (the traversal round trips actually saved).
+
+Run with ``python -m repro.experiments.ext_caching_strategies``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.common import (
+    build_cluster,
+    build_index,
+    format_rate,
+    print_table,
+)
+from repro.experiments.scale import DEFAULT, ExperimentScale
+from repro.index.caching import cached_session
+from repro.rdma.verbs import Verb
+from repro.workloads import (
+    RunResult,
+    WorkloadRunner,
+    generate_dataset,
+    workload_a,
+    workload_d,
+)
+
+__all__ = ["run", "print_figure", "main", "STRATEGIES"]
+
+#: name -> (cached?, min_cached_level, ttl_s)
+STRATEGIES = {
+    "none": (False, 0, 0.0),
+    "all-inner": (True, 1, 0.005),
+    "top-levels": (True, 2, 0.05),
+}
+
+#: (workload name, strategy name) -> (result, hit_rate, reads_per_op)
+Key = Tuple[str, str]
+
+
+class _StrategyProxy:
+    def __init__(self, index, min_level: int, ttl_s: float) -> None:
+        self._index = index
+        self.design = index.design
+        self._min_level = min_level
+        self._ttl_s = ttl_s
+        self.accessors = []
+
+    def session(self, compute_server):
+        session = cached_session(
+            self._index,
+            compute_server,
+            ttl_s=self._ttl_s,
+            min_cached_level=self._min_level,
+        )
+        self.accessors.append(session._tree.acc)
+        return session
+
+
+def run(
+    scale: ExperimentScale = DEFAULT, num_clients: int = 80
+) -> Dict[Key, Tuple[RunResult, float, float]]:
+    """Run this experiment's grid; returns the per-cell results."""
+    results: Dict[Key, Tuple[RunResult, float, float]] = {}
+    for spec in (workload_a(), workload_d()):
+        for name, (cached, min_level, ttl_s) in STRATEGIES.items():
+            dataset = generate_dataset(scale.num_keys, scale.gap)
+            cluster = build_cluster(scale)
+            index = build_index(cluster, "fine-grained", dataset)
+            target = _StrategyProxy(index, min_level, ttl_s) if cached else index
+            runner = WorkloadRunner(cluster, dataset)
+            baseline_reads = sum(
+                server.stats.ops[Verb.READ] for server in cluster.memory_servers
+            )
+            result = runner.run(
+                target,
+                spec,
+                num_clients=num_clients,
+                warmup_s=scale.warmup_s,
+                measure_s=scale.measure_s,
+                seed=scale.seed,
+            )
+            total_reads = sum(
+                server.stats.ops[Verb.READ] for server in cluster.memory_servers
+            ) - baseline_reads
+            # The reads counter covers the whole run while op counts cover
+            # only the measurement window, so this over-estimates slightly
+            # (warm-up reads included) but identically for every strategy.
+            reads_per_op = total_reads / max(1, result.total_ops)
+            hit_rate = 0.0
+            if cached and target.accessors:
+                hits = sum(a.hits for a in target.accessors)
+                misses = sum(a.misses for a in target.accessors)
+                hit_rate = hits / (hits + misses) if hits + misses else 0.0
+            results[(spec.name, name)] = (result, hit_rate, reads_per_op)
+    return results
+
+
+def print_figure(
+    results: Dict[Key, Tuple[RunResult, float, float]], num_clients: int = 80
+) -> None:
+    """Print the paper-shaped series for *results*."""
+    for spec_name in ("A", "D"):
+        rows = {}
+        for name in STRATEGIES:
+            result, hit_rate, reads_per_op = results[(spec_name, name)]
+            rows[name] = [
+                format_rate(result.throughput),
+                f"{hit_rate * 100:.0f}%" if name != "none" else "-",
+                f"{reads_per_op:.1f}",
+            ]
+        print_table(
+            f"Extension (A.4) - caching strategies, workload {spec_name} "
+            f"({num_clients} clients, fine-grained)",
+            ["throughput", "hit rate", "READs/op*"],
+            rows,
+            col_header="",
+        )
+    print("  (*approximate: total remote READs / window ops)")
+
+
+def main() -> None:
+    """CLI entry point."""
+    print_figure(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Extension: page-size sensitivity (the P knob of Table 1).
+
+The paper fixes P = 1 KiB; this extension sweeps the page size for the
+fine-grained design, where P controls a sharp trade-off:
+
+* larger pages → higher fanout → shallower trees → *fewer* round trips
+  per point lookup, but every READ moves more bytes;
+* smaller pages → deeper trees → more round trips, less wasted bandwidth.
+
+Reported per page size: the tree height, point-query and range-query
+throughput, and point-query latency, at a moderate client count.
+
+Run with ``python -m repro.experiments.ext_page_size``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Tuple
+
+from repro.config import ClusterConfig
+from repro.experiments.common import format_rate, print_table
+from repro.experiments.scale import DEFAULT, ExperimentScale, measure_window
+from repro.index import FineGrainedIndex
+from repro.nam.cluster import Cluster
+from repro.workloads import (
+    OpType,
+    RunResult,
+    WorkloadRunner,
+    generate_dataset,
+    workload_a,
+    workload_b,
+)
+
+__all__ = ["run", "print_figure", "main", "PAGE_SIZES"]
+
+PAGE_SIZES = (256, 1024, 4096)
+
+#: (workload name, page size) -> (result, tree height)
+Key = Tuple[str, int]
+
+
+def run(
+    scale: ExperimentScale = DEFAULT, num_clients: int = 40
+) -> Dict[Key, Tuple[RunResult, int]]:
+    """Run this experiment's grid; returns the per-cell results."""
+    results: Dict[Key, Tuple[RunResult, int]] = {}
+    specs = [workload_a(), workload_b(0.05)]
+    for page_size in PAGE_SIZES:
+        for spec in specs:
+            dataset = generate_dataset(scale.num_keys, scale.gap)
+            config = ClusterConfig(
+                num_memory_servers=scale.num_memory_servers,
+                seed=scale.seed,
+            )
+            config = config.with_(tree=replace(config.tree, page_size=page_size))
+            cluster = Cluster(config)
+            index = FineGrainedIndex.build(cluster, "psize", dataset.pairs())
+            compute = cluster.new_compute_server()
+            height = cluster.execute(index.tree_for(compute).height())
+            runner = WorkloadRunner(cluster, dataset)
+            result = runner.run(
+                index,
+                spec,
+                num_clients=num_clients,
+                warmup_s=scale.warmup_s,
+                measure_s=measure_window(
+                    scale, spec.selectivity if spec.range_fraction else 0
+                ),
+                seed=scale.seed,
+            )
+            results[(spec.name, page_size)] = (result, height)
+    return results
+
+
+def print_figure(results: Dict[Key, Tuple[RunResult, int]]) -> None:
+    """Print the paper-shaped series for *results*."""
+    workloads = sorted({name for name, _p in results})
+    for name in workloads:
+        rows = {}
+        for page_size in PAGE_SIZES:
+            result, height = results[(name, page_size)]
+            op_type = OpType.POINT if result.op_counts.get(OpType.POINT) else OpType.RANGE
+            rows[f"P={page_size}"] = [
+                str(height),
+                format_rate(result.throughput),
+                f"{result.latency_mean(op_type) * 1e6:.1f}us",
+            ]
+        print_table(
+            f"Extension - page-size sweep, fine-grained, workload {name}",
+            ["height", "throughput", "mean lat"],
+            rows,
+            col_header="",
+        )
+
+
+def main() -> None:
+    """CLI entry point."""
+    print_figure(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Extension: request skew (Zipfian access patterns).
+
+The paper's headline skew experiments use *attribute-value* (data) skew;
+the original YCSB instead skews the *request* distribution — a few hot
+keys receive most of the accesses (Section 6: "the original YCSB only
+supports a skewed access pattern of queries by using a Zipfian
+distribution"). This extension runs workload A under uniform, Zipfian
+(hot keys clustered at the low end of the key space) and scrambled-Zipfian
+(hot keys spread) request distributions, and adds the A.4 inner-node
+cache, which thrives on request skew: the hot traversal paths pin
+themselves into the client cache.
+
+Run with ``python -m repro.experiments.ext_request_skew``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.common import (
+    DESIGNS,
+    build_cluster,
+    build_index,
+    format_rate,
+    print_table,
+)
+from repro.experiments.scale import DEFAULT, ExperimentScale
+from repro.index.caching import cached_session
+from repro.workloads import RunResult, WorkloadRunner, generate_dataset, workload_a
+
+__all__ = ["run", "print_figure", "main", "DISTRIBUTIONS"]
+
+DISTRIBUTIONS = ("uniform", "zipfian", "scrambled_zipfian")
+
+#: (design label, distribution)
+Key = Tuple[str, str]
+
+
+class _CachedProxy:
+    """Fine-grained index whose sessions carry the A.4 node cache."""
+
+    def __init__(self, index) -> None:
+        self._index = index
+        self.design = index.design + "+cache"
+
+    def session(self, compute_server):
+        return cached_session(self._index, compute_server, ttl_s=0.01)
+
+
+def run(
+    scale: ExperimentScale = DEFAULT, num_clients: int = 80
+) -> Dict[Key, RunResult]:
+    """Run this experiment's grid; returns the per-cell results."""
+    results: Dict[Key, RunResult] = {}
+    rows = list(DESIGNS) + ["fine-grained+cache"]
+    for label in rows:
+        for distribution in DISTRIBUTIONS:
+            dataset = generate_dataset(scale.num_keys, scale.gap)
+            cluster = build_cluster(scale)
+            if label == "fine-grained+cache":
+                target = _CachedProxy(build_index(cluster, "fine-grained", dataset))
+            else:
+                target = build_index(cluster, label, dataset)
+            runner = WorkloadRunner(cluster, dataset)
+            results[(label, distribution)] = runner.run(
+                target,
+                workload_a(distribution=distribution),
+                num_clients=num_clients,
+                warmup_s=scale.warmup_s,
+                measure_s=scale.measure_s,
+                seed=scale.seed,
+            )
+    return results
+
+
+def print_figure(results: Dict[Key, RunResult]) -> None:
+    """Print the paper-shaped series for *results*."""
+    labels = sorted({label for label, _ in results})
+    rows = {
+        label: [
+            format_rate(results[(label, distribution)].throughput)
+            for distribution in DISTRIBUTIONS
+        ]
+        for label in labels
+    }
+    print_table(
+        "Extension - point queries under request skew (throughput, ops/s)",
+        DISTRIBUTIONS,
+        rows,
+        col_header="",
+    )
+
+
+def main() -> None:
+    """CLI entry point."""
+    print_figure(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Figures 7 & 8: throughput for workloads A and B vs. client count.
+
+Figure 7 uses skewed data placement (80/12/5/3 range partitioning for the
+coarse-grained and hybrid upper levels); Figure 8 uses uniform placement.
+Each sub-figure is one workload: point queries and range queries at
+selectivities 0.001 / 0.01 / 0.1.
+
+Run with ``python -m repro.experiments.fig07_08_throughput [--skew]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict
+
+from repro.experiments.common import DESIGNS, format_rate, print_table
+from repro.experiments.scale import DEFAULT, ExperimentScale
+from repro.experiments.throughput import CellKey, sweep, workloads_ab
+from repro.workloads import RunResult
+
+__all__ = ["run", "print_figure", "main"]
+
+
+def run(
+    skewed: bool, scale: ExperimentScale = DEFAULT
+) -> Dict[CellKey, RunResult]:
+    """The full grid of one figure (7 if skewed, else 8)."""
+    return sweep(skewed=skewed, scale=scale)
+
+
+def print_figure(
+    results: Dict[CellKey, RunResult], skewed: bool, scale: ExperimentScale
+) -> None:
+    """Print the paper-shaped series for *results*."""
+    figure = "Figure 7 (skewed data)" if skewed else "Figure 8 (uniform data)"
+    clients = list(scale.clients)
+    for spec in workloads_ab(scale):
+        rows = {}
+        for design in DESIGNS:
+            rows[design] = [
+                format_rate(results[(design, spec.name, c)].throughput)
+                for c in clients
+                if (design, spec.name, c) in results
+            ]
+        print_table(
+            f"{figure} - workload {spec.name}: throughput (ops/s)", clients, rows
+        )
+
+
+def main() -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skew", action="store_true", help="Figure 7 placement")
+    args = parser.parse_args()
+    results = run(skewed=args.skew)
+    print_figure(results, args.skew, DEFAULT)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Figure 9: network utilization for workloads A and B (skewed data).
+
+Reports the aggregate traffic through the memory servers' NIC ports
+(GB/s over the measurement window) for each design and workload, plus the
+hot server's share — the coarse-grained scheme funnels its traffic through
+one port under skew while fine-grained/hybrid spread the leaf level over
+all ports (Section 6.1, "Discussion of Network Utilization").
+
+Run with ``python -m repro.experiments.fig09_network``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import DESIGNS, print_table
+from repro.experiments.scale import DEFAULT, ExperimentScale
+from repro.experiments.throughput import CellKey, sweep, workloads_ab
+from repro.workloads import RunResult
+
+__all__ = ["run", "print_figure", "main"]
+
+
+def run(
+    scale: ExperimentScale = DEFAULT, skewed: bool = True
+) -> Dict[CellKey, RunResult]:
+    """Run this experiment's grid; returns the per-cell results."""
+    return sweep(skewed=skewed, scale=scale)
+
+
+def hot_server_share(result: RunResult) -> float:
+    """Fraction of memory-server traffic on the busiest server."""
+    totals = [tx + rx for tx, rx in result.network.values()]
+    grand = sum(totals)
+    return max(totals) / grand if grand else 0.0
+
+
+def print_figure(results: Dict[CellKey, RunResult], scale: ExperimentScale) -> None:
+    """Print the paper-shaped series for *results*."""
+    clients = list(scale.clients)
+    for spec in workloads_ab(scale):
+        rows = {}
+        for design in DESIGNS:
+            rows[design] = [
+                f"{results[(design, spec.name, c)].network_gb_per_s:.2f}"
+                for c in clients
+                if (design, spec.name, c) in results
+            ]
+            rows[design + " hot%"] = [
+                f"{hot_server_share(results[(design, spec.name, c)]) * 100:.0f}"
+                for c in clients
+                if (design, spec.name, c) in results
+            ]
+        print_table(
+            f"Figure 9 - workload {spec.name}: memory-server traffic (GB/s, "
+            "and busiest server's share)",
+            clients,
+            rows,
+        )
+
+
+def main() -> None:
+    """CLI entry point."""
+    scale = DEFAULT
+    results = run(scale)
+    print_figure(results, scale)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Figure 10 (Exp. 2a): varying the data size at fixed cluster size.
+
+Uniform data, the scale's maximum client count, point queries and
+high-selectivity (0.1) range queries, over increasing data sizes (the
+paper: 1M/10M/100M keys; scaled down here). Expected shapes: point-query
+throughput degrades only mildly with data size (one extra tree level),
+while range queries at sel=0.1 drop sharply for fine-grained and hybrid —
+they become network-bound on the leaf bytes.
+
+Run with ``python -m repro.experiments.fig10_datasize``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.common import DESIGNS, format_rate, print_table, run_cell
+from repro.experiments.scale import DEFAULT, ExperimentScale
+from repro.workloads import RunResult, workload_a, workload_b
+
+__all__ = ["run", "print_figure", "main"]
+
+#: (design, workload name, num_keys)
+Key = Tuple[str, str, int]
+
+
+def run(scale: ExperimentScale = DEFAULT) -> Dict[Key, RunResult]:
+    """Run this experiment's grid; returns the per-cell results."""
+    clients = scale.clients[-1]
+    specs = [workload_a(), workload_b(scale.selectivities[-1])]
+    results: Dict[Key, RunResult] = {}
+    for spec in specs:
+        for design in DESIGNS:
+            for num_keys in scale.data_sizes:
+                results[(design, spec.name, num_keys)] = run_cell(
+                    design, spec, clients, scale, num_keys=num_keys
+                )
+    return results
+
+
+def print_figure(results: Dict[Key, RunResult], scale: ExperimentScale) -> None:
+    """Print the paper-shaped series for *results*."""
+    specs = [workload_a(), workload_b(scale.selectivities[-1])]
+    for spec in specs:
+        rows = {
+            design: [
+                format_rate(results[(design, spec.name, n)].throughput)
+                for n in scale.data_sizes
+            ]
+            for design in DESIGNS
+        }
+        print_table(
+            f"Figure 10 - workload {spec.name}: throughput vs. data size "
+            f"({scale.clients[-1]} clients, uniform)",
+            scale.data_sizes,
+            rows,
+            col_header="keys",
+        )
+
+
+def main() -> None:
+    """CLI entry point."""
+    results = run()
+    print_figure(results, DEFAULT)
+
+
+if __name__ == "__main__":
+    main()

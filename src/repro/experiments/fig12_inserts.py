@@ -1,0 +1,63 @@
+"""Figure 12 (Exp. 3): mixed workloads with inserts.
+
+Workload C (5% inserts) and workload D (50% inserts), uniform data, all
+three designs, vs. client count. The paper's finding: hybrid is the most
+robust and beats coarse-grained throughout; under very high load the
+fine-grained design wins because its *remote* spinlocks let other clients
+progress, while CG/hybrid RPC workers busy-wait on contended node locks
+and stop serving other requests (Section 6.3).
+
+Run with ``python -m repro.experiments.fig12_inserts``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import DESIGNS, format_rate, print_table, run_cell
+from repro.experiments.scale import DEFAULT, ExperimentScale
+from repro.experiments.throughput import CellKey
+from repro.workloads import RunResult, workload_c, workload_d
+
+__all__ = ["run", "print_figure", "main"]
+
+
+def run(scale: ExperimentScale = DEFAULT) -> Dict[CellKey, RunResult]:
+    """Run this experiment's grid; returns the per-cell results."""
+    results: Dict[CellKey, RunResult] = {}
+    for spec in (workload_c(), workload_d()):
+        for design in DESIGNS:
+            for num_clients in scale.clients:
+                results[(design, spec.name, num_clients)] = run_cell(
+                    design, spec, num_clients, scale, skewed=False
+                )
+    return results
+
+
+def print_figure(results: Dict[CellKey, RunResult], scale: ExperimentScale) -> None:
+    """Print the paper-shaped series for *results*."""
+    for spec_name, insert_pct in (("C", 5), ("D", 50)):
+        rows = {
+            design: [
+                format_rate(results[(design, spec_name, c)].throughput)
+                for c in scale.clients
+                if (design, spec_name, c) in results
+            ]
+            for design in DESIGNS
+        }
+        print_table(
+            f"Figure 12 - workload {spec_name} ({insert_pct}% inserts, uniform): "
+            "throughput (ops/s)",
+            scale.clients,
+            rows,
+        )
+
+
+def main() -> None:
+    """CLI entry point."""
+    results = run()
+    print_figure(results, DEFAULT)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Figures 13 & 14 (Appendix A.2): latency for workloads A and B.
+
+Same grid as Figures 7/8 but reporting mean operation latency. The paper's
+pattern: the coarse-grained RPC design has the lowest latency under light
+load (fewest round trips) but loses to fine-grained/hybrid once the memory
+servers' CPUs queue up.
+
+Run with ``python -m repro.experiments.fig13_14_latency [--skew]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict
+
+from repro.experiments.common import DESIGNS, print_table
+from repro.experiments.scale import DEFAULT, ExperimentScale
+from repro.experiments.throughput import CellKey, sweep, workloads_ab
+from repro.workloads import OpType, RunResult
+
+__all__ = ["run", "print_figure", "main"]
+
+
+def run(
+    skewed: bool, scale: ExperimentScale = DEFAULT
+) -> Dict[CellKey, RunResult]:
+    """Run this experiment's grid; returns the per-cell results."""
+    return sweep(skewed=skewed, scale=scale)
+
+
+def _format_latency(seconds: float) -> str:
+    if seconds != seconds:  # NaN: no completions in the window
+        return "-"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def print_figure(
+    results: Dict[CellKey, RunResult], skewed: bool, scale: ExperimentScale
+) -> None:
+    """Print the paper-shaped series for *results*."""
+    figure = "Figure 13 (skewed data)" if skewed else "Figure 14 (uniform data)"
+    clients = list(scale.clients)
+    for spec in workloads_ab(scale):
+        op_type = OpType.POINT if spec.point_fraction else OpType.RANGE
+        rows = {}
+        for design in DESIGNS:
+            rows[design] = [
+                _format_latency(
+                    results[(design, spec.name, c)].latency_mean(op_type)
+                )
+                for c in clients
+                if (design, spec.name, c) in results
+            ]
+        print_table(
+            f"{figure} - workload {spec.name}: mean latency", clients, rows
+        )
+
+
+def main() -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skew", action="store_true", help="Figure 13 placement")
+    args = parser.parse_args()
+    results = run(skewed=args.skew)
+    print_figure(results, args.skew, DEFAULT)
+
+
+if __name__ == "__main__":
+    main()

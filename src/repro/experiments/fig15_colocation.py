@@ -1,0 +1,72 @@
+"""Figure 15 (Appendix A.3): effect of co-locating compute and memory.
+
+Compares the distributed NAM deployment against a co-located one (compute
+servers on the memory machines, shared-nothing style) for the coarse- and
+fine-grained designs, 80 clients, uniform data, point queries and range
+queries. With one compute server per memory machine, 1/num_machines of all
+accesses become local memory accesses; the paper reports a similar
+constant-factor gain for all workloads.
+
+Run with ``python -m repro.experiments.fig15_colocation``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.common import format_rate, print_table, run_cell
+from repro.experiments.scale import DEFAULT, ExperimentScale
+from repro.workloads import RunResult, workload_a, workload_b
+
+__all__ = ["run", "print_figure", "main", "DESIGNS_FIG15"]
+
+DESIGNS_FIG15 = ("fine-grained", "coarse-grained")
+
+#: (design, workload name, colocated)
+Key = Tuple[str, str, bool]
+
+
+def run(scale: ExperimentScale = DEFAULT, num_clients: int = 80) -> Dict[Key, RunResult]:
+    """Run this experiment's grid; returns the per-cell results."""
+    specs = [workload_a()] + [workload_b(sel) for sel in scale.selectivities]
+    results: Dict[Key, RunResult] = {}
+    for spec in specs:
+        for design in DESIGNS_FIG15:
+            for colocated in (False, True):
+                results[(design, spec.name, colocated)] = run_cell(
+                    design, spec, num_clients, scale, colocated=colocated
+                )
+    return results
+
+
+def print_figure(results: Dict[Key, RunResult], scale: ExperimentScale) -> None:
+    """Print the paper-shaped series for *results*."""
+    specs = [workload_a()] + [workload_b(sel) for sel in scale.selectivities]
+    for spec in specs:
+        rows = {}
+        for design in DESIGNS_FIG15:
+            distributed = results[(design, spec.name, False)].throughput
+            colocated = results[(design, spec.name, True)].throughput
+            gain = colocated / distributed if distributed else float("nan")
+            rows[design] = [
+                format_rate(distributed),
+                format_rate(colocated),
+                f"{gain:.2f}x",
+            ]
+        print_table(
+            f"Figure 15 - workload {spec.name}: distributed vs. co-located "
+            "(80 clients, uniform)",
+            ["distributed", "co-located", "gain"],
+            rows,
+            col_header="",
+        )
+
+
+def main() -> None:
+    """CLI entry point."""
+    results = run()
+    print_figure(results, DEFAULT)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Shared sweep for the throughput/latency/network experiments.
+
+Figures 7, 8, 9, 13 and 14 all derive from the same grid: the three index
+designs x workloads A and B (three selectivities) x a range of client
+counts, under uniform or skewed data placement. This module runs that grid
+once and the figure modules select/format from it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import DESIGNS, run_cell
+from repro.experiments.scale import DEFAULT, ExperimentScale
+from repro.workloads import RunResult, WorkloadSpec, workload_a, workload_b
+
+__all__ = ["sweep", "workloads_ab", "CellKey"]
+
+#: (design, workload name, num_clients)
+CellKey = Tuple[str, str, int]
+
+
+def workloads_ab(scale: ExperimentScale) -> List[WorkloadSpec]:
+    """Workload A plus workload B at each of the scale's selectivities."""
+    return [workload_a()] + [workload_b(sel) for sel in scale.selectivities]
+
+
+def sweep(
+    skewed: bool,
+    scale: ExperimentScale = DEFAULT,
+    designs: Optional[Sequence[str]] = None,
+    specs: Optional[Sequence[WorkloadSpec]] = None,
+    clients: Optional[Sequence[int]] = None,
+) -> Dict[CellKey, RunResult]:
+    """Run the Figure 7/8 grid; returns every cell's :class:`RunResult`."""
+    designs = list(designs) if designs else list(DESIGNS)
+    specs = list(specs) if specs is not None else workloads_ab(scale)
+    clients = list(clients) if clients else list(scale.clients)
+    results: Dict[CellKey, RunResult] = {}
+    for spec in specs:
+        for design in designs:
+            for num_clients in clients:
+                results[(design, spec.name, num_clients)] = run_cell(
+                    design, spec, num_clients, scale, skewed=skewed
+                )
+    return results

@@ -1,0 +1,42 @@
+"""The three distributed index designs plus shared machinery."""
+
+from repro.index.accessors import (
+    LocalAccessor,
+    LocalRootRef,
+    RemoteAccessor,
+    RemoteRootRef,
+)
+from repro.index.base import DistributedIndex, IndexSession
+from repro.index.caching import CachingRemoteAccessor, cached_session
+from repro.index.coarse_grained import CoarseGrainedIndex, CoarseGrainedSession
+from repro.index.fine_grained import FineGrainedIndex, FineGrainedSession
+from repro.index.gc import EpochGarbageCollector
+from repro.index.hybrid import HybridIndex, HybridSession
+from repro.index.partitioning import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    RoundRobinPartitioner,
+)
+
+__all__ = [
+    "LocalAccessor",
+    "LocalRootRef",
+    "RemoteAccessor",
+    "RemoteRootRef",
+    "DistributedIndex",
+    "IndexSession",
+    "CachingRemoteAccessor",
+    "cached_session",
+    "CoarseGrainedIndex",
+    "CoarseGrainedSession",
+    "FineGrainedIndex",
+    "FineGrainedSession",
+    "EpochGarbageCollector",
+    "HybridIndex",
+    "HybridSession",
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "RoundRobinPartitioner",
+]

@@ -1,0 +1,228 @@
+"""Concrete node accessors and root references.
+
+Two accessor implementations mirror the paper's two access paths:
+
+* :class:`LocalAccessor` — runs *inside* a memory server (coarse-grained
+  RPC handlers, hybrid inner-level traversals). Node operations touch the
+  server's own region directly; their cost is CPU time charged to the RPC
+  worker executing them (QPI-adjusted), which is how the two-sided designs
+  become CPU-bound under load.
+
+* :class:`RemoteAccessor` — runs on a compute server and reaches nodes with
+  one-sided verbs over queue pairs (fine-grained design, hybrid leaf level).
+  Page allocation is a one-sided FETCH_AND_ADD on the target server's
+  allocation word, round-robin across servers — no remote CPU involved.
+
+Root references follow the same split: :class:`LocalRootRef` reads/CASes a
+root word in the server's own region; :class:`RemoteRootRef` caches the
+root pointer on the compute server (stale roots are harmless in B-link
+trees) and refreshes/swings it with one-sided READ/CAS.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from repro.btree.accessor import NodeAccessor, RootRef
+from repro.btree.node import Node
+from repro.btree.pointers import RemotePointer, encode_pointer
+from repro.errors import CatalogError, RemoteAccessError
+from repro.nam.allocator import ALLOC_WORD_OFFSET
+from repro.nam.catalog import RootLocation
+from repro.nam.compute_server import ComputeServer
+from repro.nam.memory_server import MemoryServer
+
+__all__ = ["LocalAccessor", "RemoteAccessor", "LocalRootRef", "RemoteRootRef"]
+
+
+class LocalAccessor(NodeAccessor):
+    """Node access from within a memory server's RPC worker."""
+
+    def __init__(self, server: MemoryServer) -> None:
+        self.server = server
+        self.page_size = server.config.tree.page_size
+        self._node_cost = server.config.cpu.per_node_cost_s
+        self._atomic_cost = server.config.cpu.per_node_cost_s / 4
+        self._spin_slice = server.config.cpu.spin_wait_slice_s
+
+    def _offset(self, raw_ptr: int) -> int:
+        pointer = RemotePointer.from_raw(raw_ptr)
+        if pointer.server_id != self.server.server_id:
+            raise RemoteAccessError(
+                f"local accessor on server {self.server.server_id} asked to "
+                f"touch a node on server {pointer.server_id}"
+            )
+        return pointer.offset
+
+    def read_node(self, raw_ptr: int) -> Generator[Any, Any, Node]:
+        offset = self._offset(raw_ptr)
+        yield self.server.cpu(self._node_cost)
+        return Node.from_bytes(self.server.region.read(offset, self.page_size))
+
+    def write_node(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
+        offset = self._offset(raw_ptr)
+        yield self.server.cpu(self._node_cost)
+        self.server.region.write(offset, node.to_bytes(self.page_size))
+
+    def try_lock(self, raw_ptr: int, version: int) -> Generator[Any, Any, bool]:
+        offset = self._offset(raw_ptr)
+        yield self.server.cpu(self._atomic_cost)
+        swapped, _old = self.server.region.compare_and_swap(
+            offset, version, version | 1
+        )
+        return swapped
+
+    def unlock_write(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
+        offset = self._offset(raw_ptr)
+        node.version |= 1
+        yield self.server.cpu(self._node_cost)
+        self.server.region.write(offset, node.to_bytes(self.page_size))
+        self.server.region.fetch_and_add(offset, 1)
+
+    def unlock_nochange(self, raw_ptr: int) -> Generator[Any, Any, None]:
+        offset = self._offset(raw_ptr)
+        yield self.server.cpu(self._atomic_cost)
+        self.server.region.fetch_and_add(offset, 1)
+
+    def alloc(self, level: int) -> Generator[Any, Any, int]:
+        yield self.server.cpu(self._atomic_cost)
+        offset = self.server.allocator.allocate()
+        return encode_pointer(self.server.server_id, offset)
+
+    def spin_pause(self) -> Generator[Any, Any, None]:
+        # The worker burns its core while spinning — deliberately.
+        yield self.server.cpu(self._spin_slice)
+
+
+class RemoteAccessor(NodeAccessor):
+    """Node access from a compute server through one-sided verbs."""
+
+    def __init__(
+        self, compute_server: ComputeServer, config, alloc_server_id: int = None
+    ) -> None:
+        self.compute_server = compute_server
+        self.config = config
+        self.page_size = config.tree.page_size
+        self._search_cost = config.cpu.client_per_node_cost_s
+        self._spin_slice = config.cpu.spin_wait_slice_s
+        # Stagger allocation round-robin across compute servers so they do
+        # not all bump the same server's allocator in lockstep. When
+        # ``alloc_server_id`` is given, all pages go to that server instead
+        # (used for co-located coarse-grained trees, whose pages must stay
+        # on the partition owner).
+        self._alloc_counter = compute_server.server_id
+        self._alloc_pinned = alloc_server_id
+
+    def read_node(self, raw_ptr: int) -> Generator[Any, Any, Node]:
+        pointer = RemotePointer.from_raw(raw_ptr)
+        qp = self.compute_server.qp(pointer.server_id)
+        data = yield from qp.read(pointer.offset, self.page_size)
+        yield self.compute_server.sim.timeout(self._search_cost)
+        return Node.from_bytes(data)
+
+    def read_nodes(self, raw_ptrs) -> Generator[Any, Any, List[Node]]:
+        sim = self.compute_server.sim
+        pending = [sim.process(self.read_node(raw)) for raw in raw_ptrs]
+        nodes = yield sim.all_of(pending)
+        return nodes
+
+    def write_node(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
+        pointer = RemotePointer.from_raw(raw_ptr)
+        qp = self.compute_server.qp(pointer.server_id)
+        yield from qp.write(pointer.offset, node.to_bytes(self.page_size))
+
+    def try_lock(self, raw_ptr: int, version: int) -> Generator[Any, Any, bool]:
+        pointer = RemotePointer.from_raw(raw_ptr)
+        qp = self.compute_server.qp(pointer.server_id)
+        swapped, _old = yield from qp.compare_and_swap(
+            pointer.offset, version, version | 1
+        )
+        return swapped
+
+    def unlock_write(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
+        pointer = RemotePointer.from_raw(raw_ptr)
+        qp = self.compute_server.qp(pointer.server_id)
+        node.version |= 1
+        yield from qp.write(pointer.offset, node.to_bytes(self.page_size))
+        yield from qp.fetch_and_add(pointer.offset, 1)
+
+    def unlock_nochange(self, raw_ptr: int) -> Generator[Any, Any, None]:
+        pointer = RemotePointer.from_raw(raw_ptr)
+        qp = self.compute_server.qp(pointer.server_id)
+        yield from qp.fetch_and_add(pointer.offset, 1)
+
+    def alloc(self, level: int) -> Generator[Any, Any, int]:
+        if self._alloc_pinned is not None:
+            server_id = self._alloc_pinned
+        else:
+            server_id = self._alloc_counter % self.compute_server.num_memory_servers
+            self._alloc_counter += 1
+        qp = self.compute_server.qp(server_id)
+        offset = yield from qp.fetch_and_add(ALLOC_WORD_OFFSET, self.page_size)
+        return encode_pointer(server_id, offset)
+
+    def spin_pause(self) -> Generator[Any, Any, None]:
+        # Remote spinlock: back off, then the caller re-READs the node.
+        yield self.compute_server.sim.timeout(self._spin_slice)
+
+
+class LocalRootRef(RootRef):
+    """A root pointer word in the accessing server's own region."""
+
+    def __init__(self, server: MemoryServer, location: RootLocation) -> None:
+        if location.server_id != server.server_id:
+            raise CatalogError(
+                "local root reference must live on the accessing server"
+            )
+        self.server = server
+        self.offset = location.offset
+
+    def get(self) -> Generator[Any, Any, int]:
+        return self.server.region.read_u64(self.offset)
+        yield  # pragma: no cover - unreachable; makes this a generator
+
+    def refresh(self) -> Generator[Any, Any, int]:
+        return self.server.region.read_u64(self.offset)
+        yield  # pragma: no cover - unreachable; makes this a generator
+
+    def compare_and_swap(self, old: int, new: int) -> Generator[Any, Any, bool]:
+        swapped, _ = self.server.region.compare_and_swap(self.offset, old, new)
+        return swapped
+        yield  # pragma: no cover - unreachable; makes this a generator
+
+
+class RemoteRootRef(RootRef):
+    """A cached root pointer maintained over one-sided verbs.
+
+    The cached value may lag behind a concurrent root split; traversals
+    from a stale root remain correct (move-right), and
+    :meth:`refresh` re-reads the authoritative word when the algorithm
+    detects the tree grew.
+    """
+
+    def __init__(self, compute_server: ComputeServer, location: RootLocation) -> None:
+        self.compute_server = compute_server
+        self.location = location
+        self._cached: int = 0
+
+    def get(self) -> Generator[Any, Any, int]:
+        if self._cached:
+            return self._cached
+        return (yield from self.refresh())
+
+    def refresh(self) -> Generator[Any, Any, int]:
+        qp = self.compute_server.qp(self.location.server_id)
+        data = yield from qp.read(self.location.offset, 8)
+        raw = int.from_bytes(data, "little")
+        if raw == 0:
+            raise CatalogError("root pointer word is uninitialized")
+        self._cached = raw
+        return raw
+
+    def compare_and_swap(self, old: int, new: int) -> Generator[Any, Any, bool]:
+        qp = self.compute_server.qp(self.location.server_id)
+        swapped, current = yield from qp.compare_and_swap(
+            self.location.offset, old, new
+        )
+        self._cached = new if swapped else current
+        return swapped

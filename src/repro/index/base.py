@@ -1,0 +1,84 @@
+"""Public interface of the distributed index designs.
+
+Every design exposes the same two-level API:
+
+* a :class:`DistributedIndex` — the cluster-wide object created once by
+  :meth:`build` (bulk load + handler registration + catalog entry);
+* an :class:`IndexSession` — a per-compute-server handle created with
+  :meth:`DistributedIndex.session`, whose operations are simulation
+  processes. Each simulated client thread owns one session.
+
+Operations (all generators; drive with ``yield from`` inside a process or
+``Cluster.execute`` for one-off calls):
+
+=============================  =============================================
+``lookup(key)``                list of live payloads under *key*
+``range_scan(low, high)``      sorted live ``(key, payload)`` pairs in
+                               ``[low, high)``
+``insert(key, value)``         add an entry (duplicates allowed)
+``update(key, value)``         replace one payload; True if one existed
+``delete(key)``                tombstone one entry; True if one existed
+=============================  =============================================
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generator, List, Sequence, Tuple
+
+from repro.nam.cluster import Cluster
+from repro.nam.compute_server import ComputeServer
+
+__all__ = ["IndexSession", "DistributedIndex"]
+
+
+class IndexSession(abc.ABC):
+    """A compute server's handle on a distributed index."""
+
+    @abc.abstractmethod
+    def lookup(self, key: int) -> Generator[Any, Any, List[int]]:
+        """Point query (workload A)."""
+
+    @abc.abstractmethod
+    def range_scan(
+        self, low: int, high: int
+    ) -> Generator[Any, Any, List[Tuple[int, int]]]:
+        """Range query over ``[low, high)`` (workload B)."""
+
+    @abc.abstractmethod
+    def insert(self, key: int, value: int) -> Generator[Any, Any, None]:
+        """Insert one entry (workloads C/D)."""
+
+    @abc.abstractmethod
+    def update(self, key: int, value: int) -> Generator[Any, Any, bool]:
+        """Replace the first live payload under *key*; True if one existed."""
+
+    @abc.abstractmethod
+    def delete(self, key: int) -> Generator[Any, Any, bool]:
+        """Tombstone one entry for *key*; True if an entry existed."""
+
+
+class DistributedIndex(abc.ABC):
+    """A tree index distributed across the cluster's memory servers."""
+
+    #: Human-readable design name ("coarse-grained" / "fine-grained" / "hybrid").
+    design: str
+
+    def __init__(self, cluster: Cluster, name: str) -> None:
+        self.cluster = cluster
+        self.name = name
+
+    @classmethod
+    @abc.abstractmethod
+    def build(
+        cls,
+        cluster: Cluster,
+        name: str,
+        pairs: Sequence[Tuple[int, int]],
+        **options: Any,
+    ) -> "DistributedIndex":
+        """Bulk-load *pairs* (sorted by key) and register the index."""
+
+    @abc.abstractmethod
+    def session(self, compute_server: ComputeServer) -> IndexSession:
+        """Open a session for clients running on *compute_server*."""

@@ -1,0 +1,137 @@
+"""Client-side caching of index nodes (Appendix A.4).
+
+The appendix observes that compute servers can cache hot index nodes to
+save remote round trips — trivially beneficial for read-only workloads,
+hard in general because updates must invalidate cached nodes. For
+tree-based indexes specifically, *inner* nodes are safe to cache even
+without invalidation: a stale inner node still routes a traversal to a
+pre-split child, and the B-link move-right protocol recovers — at the cost
+of extra sibling hops. Leaves are never cached here (a stale leaf would
+return wrong data).
+
+:class:`CachingRemoteAccessor` wraps the one-sided access path with an LRU
+cache of inner-page images plus a time-to-live that bounds staleness (the
+epoch-style invalidation the appendix sketches). Pair it with a
+fine-grained index via :func:`cached_session`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Generator, Tuple
+
+from repro.btree.algorithm import BLinkTree
+from repro.btree.node import Node
+from repro.index.accessors import RemoteAccessor, RemoteRootRef
+from repro.index.fine_grained import FineGrainedIndex, FineGrainedSession
+from repro.nam.compute_server import ComputeServer
+
+__all__ = ["CachingRemoteAccessor", "cached_session"]
+
+
+class CachingRemoteAccessor(RemoteAccessor):
+    """One-sided access with an LRU + TTL cache of inner pages."""
+
+    def __init__(
+        self,
+        compute_server: ComputeServer,
+        config,
+        capacity: int = 4096,
+        ttl_s: float = 0.01,
+        min_cached_level: int = 1,
+    ) -> None:
+        super().__init__(compute_server, config)
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        #: Cache only nodes at this tree level or above. 1 caches every
+        #: inner node; higher values cache just the top of the tree —
+        #: fewer, hotter, more stable pages (upper levels change orders of
+        #: magnitude less often than the leaves' parents), one of the
+        #: tree-aware strategies Appendix A.4 calls for.
+        self.min_cached_level = max(1, min_cached_level)
+        self._cache: "OrderedDict[int, Tuple[bytes, float]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- cache mechanics ----------------------------------------------------
+
+    def _cache_get(self, raw_ptr: int) -> bytes:
+        entry = self._cache.get(raw_ptr)
+        if entry is None:
+            return None
+        data, stored_at = entry
+        if self.compute_server.sim.now - stored_at > self.ttl_s:
+            del self._cache[raw_ptr]
+            return None
+        self._cache.move_to_end(raw_ptr)
+        return data
+
+    def _cache_put(self, raw_ptr: int, data: bytes) -> None:
+        self._cache[raw_ptr] = (data, self.compute_server.sim.now)
+        self._cache.move_to_end(raw_ptr)
+        while len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+
+    def invalidate(self, raw_ptr: int) -> None:
+        self._cache.pop(raw_ptr, None)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- accessor overrides ----------------------------------------------------
+
+    def read_node(self, raw_ptr: int) -> Generator[Any, Any, Node]:
+        cached = self._cache_get(raw_ptr)
+        if cached is not None:
+            self.hits += 1
+            # Only the local search cost; no network round trip.
+            yield self.compute_server.sim.timeout(self._search_cost)
+            return Node.from_bytes(cached)
+        self.misses += 1
+        node = yield from super().read_node(raw_ptr)
+        if (
+            node.is_inner
+            and node.level >= self.min_cached_level
+            and not node.is_locked
+        ):
+            self._cache_put(raw_ptr, node.to_bytes(self.page_size))
+        return node
+
+    def try_lock(self, raw_ptr: int, version: int) -> Generator[Any, Any, bool]:
+        self.invalidate(raw_ptr)
+        return (yield from super().try_lock(raw_ptr, version))
+
+    def unlock_write(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
+        self.invalidate(raw_ptr)
+        yield from super().unlock_write(raw_ptr, node)
+
+    def write_node(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
+        self.invalidate(raw_ptr)
+        yield from super().write_node(raw_ptr, node)
+
+
+def cached_session(
+    index: FineGrainedIndex,
+    compute_server: ComputeServer,
+    capacity: int = 4096,
+    ttl_s: float = 0.01,
+    min_cached_level: int = 1,
+) -> FineGrainedSession:
+    """A fine-grained session whose traversals use the inner-node cache."""
+    session = index.session(compute_server)
+    accessor = CachingRemoteAccessor(
+        compute_server,
+        index.cluster.config,
+        capacity=capacity,
+        ttl_s=ttl_s,
+        min_cached_level=min_cached_level,
+    )
+    session._tree = BLinkTree(
+        accessor,
+        RemoteRootRef(compute_server, index.root_location),
+        use_head_nodes=index.use_head_nodes,
+        prefetch_window=index.cluster.config.tree.prefetch_window,
+    )
+    return session

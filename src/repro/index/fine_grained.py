@@ -1,0 +1,155 @@
+"""Design 2: fine-grained distribution, one-sided access (Section 4).
+
+One global B-link tree whose nodes are distributed round-robin across all
+memory servers (level by level) and connected through remote pointers.
+Compute servers execute every operation themselves with one-sided verbs:
+READ to fetch pages, CAS/FETCH_AND_ADD on the version word for remote
+spinlocks (Listings 2 and 4), WRITE to install modified pages, and
+FETCH_AND_ADD on the allocation word for remote page allocation.
+
+The leaf level carries *head nodes* (Section 4.3): per group of
+``head_node_interval`` leaves, an extra page listing the group's leaf
+pointers that range scans use to prefetch leaves in parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Sequence, Tuple
+
+from repro.btree.algorithm import BLinkTree
+from repro.btree.bulk import bulk_load
+from repro.index.accessors import RemoteAccessor, RemoteRootRef
+from repro.index.base import DistributedIndex, IndexSession
+from repro.nam.catalog import IndexDescriptor, RootLocation
+from repro.nam.cluster import Cluster
+from repro.nam.compute_server import ComputeServer
+
+__all__ = ["FineGrainedIndex", "FineGrainedSession"]
+
+
+class FineGrainedIndex(DistributedIndex):
+    """A single global tree, nodes scattered per-page across all servers."""
+
+    design = "fine-grained"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        name: str,
+        root_location: RootLocation,
+        use_head_nodes: bool,
+    ) -> None:
+        super().__init__(cluster, name)
+        self.root_location = root_location
+        self.use_head_nodes = use_head_nodes
+
+    @classmethod
+    def build(
+        cls,
+        cluster: Cluster,
+        name: str,
+        pairs: Sequence[Tuple[int, int]],
+        home_server: int = 0,
+        head_interval: Optional[int] = None,
+        **_options: Any,
+    ) -> "FineGrainedIndex":
+        """Bulk-load *pairs* round-robin across all memory servers.
+
+        The root pointer word lives on *home_server* (its location is the
+        catalog entry compute servers start from). *head_interval*
+        overrides ``TreeConfig.head_node_interval``; 0 disables head nodes.
+        """
+        config = cluster.config
+        if head_interval is None:
+            head_interval = config.tree.head_node_interval
+        num_servers = cluster.num_memory_servers
+        root_location = cluster.alloc_control_word(home_server)
+        result = bulk_load(
+            pairs,
+            cluster.direct_sink(),
+            place_leaf=lambda i: i % num_servers,
+            place_inner=lambda level, i: (level + i) % num_servers,
+            place_head=lambda i: (i + 1) % num_servers,
+            fill=config.tree.bulk_fill,
+            head_interval=head_interval,
+        )
+        cluster.memory_server(home_server).region.write_u64(
+            root_location.offset, result.root_raw
+        )
+        index = cls(cluster, name, root_location, use_head_nodes=head_interval > 0)
+        cluster.catalog.register(
+            IndexDescriptor(
+                name=name,
+                design=cls.design,
+                roots={home_server: root_location},
+                use_head_nodes=index.use_head_nodes,
+            )
+        )
+        return index
+
+    def session(self, compute_server: ComputeServer) -> "FineGrainedSession":
+        return FineGrainedSession(self, compute_server)
+
+    def tree_for(self, compute_server: ComputeServer) -> BLinkTree:
+        """A raw client-side tree handle (used by tests and the global GC)."""
+        accessor = RemoteAccessor(compute_server, self.cluster.config)
+        root = RemoteRootRef(compute_server, self.root_location)
+        return BLinkTree(
+            accessor,
+            root,
+            use_head_nodes=self.use_head_nodes,
+            prefetch_window=self.cluster.config.tree.prefetch_window,
+        )
+
+    def start_gc(
+        self,
+        compute_server: ComputeServer,
+        epoch_s: float = 0.05,
+        rebuild_heads: bool = None,
+    ):
+        """Launch the global epoch garbage collector (Section 4.2).
+
+        It runs on *compute_server* with one-sided verbs — the paper
+        explains it cannot run server-locally because local and remote
+        atomics must not mix on the same words. Returns the collector
+        (set ``collector.stopped = True`` to stop it).
+        """
+        from repro.index.gc import EpochGarbageCollector
+
+        if rebuild_heads is None:
+            rebuild_heads = self.use_head_nodes
+        collector = EpochGarbageCollector(
+            self.cluster.sim,
+            self.tree_for(compute_server),
+            epoch_s=epoch_s,
+            rebuild_heads=rebuild_heads,
+            head_interval=self.cluster.config.tree.head_node_interval or 8,
+        )
+        collector.start()
+        return collector
+
+
+class FineGrainedSession(IndexSession):
+    """Client-side handle: operations are pure one-sided verb sequences."""
+
+    def __init__(self, index: FineGrainedIndex, compute_server: ComputeServer) -> None:
+        self.index = index
+        self.compute_server = compute_server
+        self._tree = index.tree_for(compute_server)
+
+    def lookup(self, key: int) -> Generator[Any, Any, List[int]]:
+        return (yield from self._tree.lookup(key))
+
+    def range_scan(
+        self, low: int, high: int
+    ) -> Generator[Any, Any, List[Tuple[int, int]]]:
+        return (yield from self._tree.range_scan(low, high))
+
+    def insert(self, key: int, value: int) -> Generator[Any, Any, None]:
+        yield from self._tree.insert(key, value)
+
+    def update(self, key: int, value: int) -> Generator[Any, Any, bool]:
+        return (yield from self._tree.update(key, value))
+
+    def delete(self, key: int) -> Generator[Any, Any, bool]:
+        return (yield from self._tree.delete(key))

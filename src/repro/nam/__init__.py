@@ -1,0 +1,21 @@
+"""The Network-Attached-Memory (NAM) architecture substrate."""
+
+from repro.nam.allocator import ALLOC_WORD_OFFSET, PageAllocator
+from repro.nam.catalog import Catalog, IndexDescriptor, RootLocation
+from repro.nam.cluster import Cluster, DirectPageSink
+from repro.nam.compute_server import ComputeServer
+from repro.nam.machine import PhysicalMachine
+from repro.nam.memory_server import MemoryServer
+
+__all__ = [
+    "ALLOC_WORD_OFFSET",
+    "PageAllocator",
+    "Catalog",
+    "IndexDescriptor",
+    "RootLocation",
+    "Cluster",
+    "DirectPageSink",
+    "ComputeServer",
+    "PhysicalMachine",
+    "MemoryServer",
+]

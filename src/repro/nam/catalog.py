@@ -1,0 +1,70 @@
+"""The catalog service.
+
+The paper notes (Section 4.2) that compute servers learn each index's root
+pointer "as part of a catalog service that is anyway used during query
+compilation". The catalog here records, per index: the design kind, the
+partitioning function (if any), and where each root pointer word lives.
+Catalog lookups model that compile-time metadata access and are free at
+run time — root pointers themselves are cached and refreshed through RDMA
+when a traversal discovers they are stale (B-link trees tolerate stale
+roots, see :class:`repro.btree.accessor.RootRef`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import CatalogError
+
+__all__ = ["RootLocation", "IndexDescriptor", "Catalog"]
+
+
+@dataclass(frozen=True)
+class RootLocation:
+    """Where one root-pointer word lives: ``(server_id, byte offset)``."""
+
+    server_id: int
+    offset: int
+
+
+@dataclass
+class IndexDescriptor:
+    """Everything a compute server needs to open a session on an index."""
+
+    name: str
+    design: str  # "coarse-grained" | "fine-grained" | "hybrid"
+    #: Root-pointer words: one per partition for CG/hybrid (keyed by memory
+    #: server id), a single entry keyed by the home server for FG.
+    roots: Dict[int, RootLocation] = field(default_factory=dict)
+    partitioner: Optional[object] = None
+    use_head_nodes: bool = False
+
+
+class Catalog:
+    """Cluster-wide registry of index descriptors."""
+
+    def __init__(self) -> None:
+        self._indexes: Dict[str, IndexDescriptor] = {}
+
+    def register(self, descriptor: IndexDescriptor) -> None:
+        if descriptor.name in self._indexes:
+            raise CatalogError(f"index {descriptor.name!r} already registered")
+        self._indexes[descriptor.name] = descriptor
+
+    def lookup(self, name: str) -> IndexDescriptor:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise CatalogError(f"unknown index {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        if name not in self._indexes:
+            raise CatalogError(f"unknown index {name!r}")
+        del self._indexes[name]
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._indexes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._indexes

@@ -1,0 +1,202 @@
+"""Cluster assembly: machines, memory servers, compute servers, fabric.
+
+:class:`Cluster` is the main entry point of the library::
+
+    from repro import Cluster, ClusterConfig
+
+    cluster = Cluster(ClusterConfig(num_memory_servers=4))
+    cs = cluster.new_compute_server()
+    index = FineGrainedIndex.build(cluster, "idx", pairs)
+    session = index.session(cs)
+    values = cluster.execute(session.lookup(42))
+
+Memory servers are placed ``memory_servers_per_machine`` per physical
+machine, each on its own NIC port; servers beyond the first on a machine
+pay the QPI penalty (Section 6.1). Compute servers get their own machines,
+or — when ``config.colocated`` is set (Appendix A.3) — are placed round-
+robin onto the memory machines, where accesses to the co-resident memory
+servers take the local-memory fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Tuple
+
+import numpy as np
+
+from repro.config import ClusterConfig
+from repro.errors import ConfigurationError
+from repro.nam.catalog import Catalog, RootLocation
+from repro.nam.compute_server import ComputeServer
+from repro.nam.machine import PhysicalMachine
+from repro.nam.memory_server import MemoryServer
+from repro.rdma.fabric import Fabric
+from repro.rdma.nic import NicPort
+from repro.sim import Simulator
+
+__all__ = ["Cluster", "DirectPageSink"]
+
+
+class DirectPageSink:
+    """Construction-time page storage for bulk loads (no simulated traffic)."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self._cluster = cluster
+        self.page_size = cluster.config.tree.page_size
+
+    def alloc_page(self, server_id: int) -> int:
+        return self._cluster.memory_servers[server_id].allocator.allocate()
+
+    def write_page(self, server_id: int, offset: int, data: bytes) -> None:
+        self._cluster.memory_servers[server_id].region.write(offset, data)
+
+
+class Cluster:
+    """A simulated NAM cluster."""
+
+    def __init__(self, config: ClusterConfig = None) -> None:
+        self.config = config or ClusterConfig()
+        self.sim = Simulator()
+        self.fabric = Fabric(self.sim, self.config.network)
+        self.catalog = Catalog()
+        self.rng = np.random.default_rng(self.config.seed)
+
+        self.memory_machines: List[PhysicalMachine] = []
+        self.memory_servers: List[MemoryServer] = []
+        per_machine = self.config.memory_servers_per_machine
+        for machine_id in range(self.config.num_machines):
+            machine = PhysicalMachine(
+                self.sim,
+                machine_id,
+                self.config.network,
+                num_ports=per_machine,
+                kind="memory",
+            )
+            self.memory_machines.append(machine)
+        for server_id in range(self.config.num_memory_servers):
+            machine = self.memory_machines[server_id // per_machine]
+            slot = server_id % per_machine
+            self.memory_servers.append(
+                MemoryServer(
+                    self.sim,
+                    server_id,
+                    machine,
+                    machine.port(slot),
+                    self.config,
+                    crosses_qpi=(slot > 0),
+                )
+            )
+        self.compute_servers: List[ComputeServer] = []
+
+    # -- topology -------------------------------------------------------------
+
+    @property
+    def num_memory_servers(self) -> int:
+        return len(self.memory_servers)
+
+    def memory_server(self, server_id: int) -> MemoryServer:
+        try:
+            return self.memory_servers[server_id]
+        except IndexError:
+            raise ConfigurationError(f"no memory server {server_id}") from None
+
+    def new_compute_server(self) -> ComputeServer:
+        """Add a compute server (its own machine, or co-located if configured)."""
+        server_id = len(self.compute_servers)
+        if self.config.colocated:
+            machine = self.memory_machines[server_id % len(self.memory_machines)]
+            port = self._add_port(machine)
+        else:
+            machine = PhysicalMachine(
+                self.sim,
+                machine_id=1000 + server_id,
+                network=self.config.network,
+                num_ports=1,
+                kind="compute",
+            )
+            port = machine.port(0)
+        server = ComputeServer(
+            self.sim,
+            server_id,
+            machine,
+            port,
+            self.fabric,
+            self.memory_servers,
+            colocated=self.config.colocated,
+        )
+        self.compute_servers.append(server)
+        return server
+
+    def _add_port(self, machine: PhysicalMachine) -> NicPort:
+        port = NicPort(
+            self.sim, self.config.network, f"{machine.nic.label}/px"
+        )
+        machine.nic.ports.append(port)
+        return port
+
+    # -- bulk-load / control-word plumbing ---------------------------------------
+
+    def direct_sink(self) -> DirectPageSink:
+        """Page sink for :func:`repro.btree.bulk.bulk_load`."""
+        return DirectPageSink(self)
+
+    def alloc_control_word(self, server_id: int) -> RootLocation:
+        """Reserve a page on *server_id* whose first word holds a root pointer."""
+        offset = self.memory_server(server_id).allocator.allocate()
+        return RootLocation(server_id=server_id, offset=offset)
+
+    # -- running --------------------------------------------------------------
+
+    def execute(self, generator: Generator) -> Any:
+        """Run a single operation (a simulation process) to completion."""
+        return self.sim.run_until_complete(self.sim.process(generator))
+
+    def spawn(self, generator: Generator):
+        """Start a background process (GC threads, client loops)."""
+        return self.sim.process(generator)
+
+    def run(self, until: float = None) -> None:
+        self.sim.run(until)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # -- statistics -------------------------------------------------------------
+
+    def network_snapshot(self) -> Dict[int, Tuple[int, int]]:
+        """Per-memory-server ``(bytes_tx, bytes_rx)`` wire counters."""
+        return {
+            server.server_id: server.port.traffic()
+            for server in self.memory_servers
+        }
+
+    def reset_measurement(self) -> Dict[str, Any]:
+        """Snapshot all counters at the start of a measurement window."""
+        for server in self.memory_servers:
+            server.reset_utilization()
+        return {
+            "now": self.now,
+            "network": self.network_snapshot(),
+            "verbs": {
+                server.server_id: server.stats.snapshot()
+                for server in self.memory_servers
+            },
+        }
+
+    def measurement_delta(self, baseline: Dict[str, Any]) -> Dict[str, Any]:
+        """Counters accumulated since :meth:`reset_measurement`."""
+        window = self.now - baseline["now"]
+        network = {}
+        for server_id, (tx0, rx0) in baseline["network"].items():
+            tx1, rx1 = self.network_snapshot()[server_id]
+            network[server_id] = (tx1 - tx0, rx1 - rx0)
+        verbs = {
+            server.server_id: server.stats.delta(baseline["verbs"][server.server_id])
+            for server in self.memory_servers
+        }
+        cpu = {
+            server.server_id: server.cpu_utilization(window)
+            for server in self.memory_servers
+        }
+        return {"window": window, "network": network, "verbs": verbs, "cpu": cpu}

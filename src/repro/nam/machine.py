@@ -1,0 +1,38 @@
+"""Physical machines of the simulated cluster.
+
+A machine contributes a NIC (possibly dual-port, like the paper's
+Connect-IB cards) and two CPU sockets. The NIC is attached to socket 0:
+a memory server pinned to socket 1 pays the QPI penalty on every memory
+access its RPC handlers perform — the effect that caps the coarse-grained
+design's scaling in Section 6.1.
+"""
+
+from __future__ import annotations
+
+from repro.config import NetworkConfig
+from repro.rdma.nic import Nic, NicPort
+from repro.sim import Simulator
+
+__all__ = ["PhysicalMachine"]
+
+
+class PhysicalMachine:
+    """One host: identity plus a NIC with a configurable number of ports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine_id: int,
+        network: NetworkConfig,
+        num_ports: int,
+        kind: str,
+    ) -> None:
+        self.machine_id = machine_id
+        self.kind = kind  # "memory" | "compute" (informational)
+        self.nic = Nic(sim, network, num_ports, label=f"{kind}{machine_id}")
+
+    def port(self, index: int) -> NicPort:
+        return self.nic.port(index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PhysicalMachine({self.kind}{self.machine_id})"

@@ -1,0 +1,133 @@
+"""Memory servers: the storage half of the NAM architecture.
+
+A memory server owns a registered memory region (where index pages live),
+one NIC port, a shared receive queue, and a pool of RPC worker threads —
+one per core — that serve two-sided requests (Section 3.2). One-sided verbs
+bypass the workers entirely and only consume NIC/memory bandwidth, which is
+precisely the asymmetry the paper studies.
+
+Handlers are registered per request type by the index designs; a handler is
+a generator ``handler(server, payload) -> (response, response_wire_bytes)``
+that charges its CPU time through :meth:`MemoryServer.cpu` /
+:meth:`cpu_bytes`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Tuple, Type
+
+from repro.config import ClusterConfig
+from repro.errors import NetworkError
+from repro.nam.allocator import PageAllocator
+from repro.nam.machine import PhysicalMachine
+from repro.rdma.memory import MemoryRegion
+from repro.rdma.nic import NicPort
+from repro.rdma.qp import RpcEnvelope
+from repro.rdma.verbs import VerbStats
+from repro.sim import Simulator, Store
+
+__all__ = ["MemoryServer"]
+
+Handler = Callable[["MemoryServer", Any], Generator[Any, Any, Tuple[Any, int]]]
+
+
+class MemoryServer:
+    """One memory server: region + allocator + SRQ + RPC worker pool."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server_id: int,
+        machine: PhysicalMachine,
+        port: NicPort,
+        config: ClusterConfig,
+        crosses_qpi: bool,
+    ) -> None:
+        self.sim = sim
+        self.server_id = server_id
+        self.machine = machine
+        self.port = port
+        self.config = config
+        self.region = MemoryRegion(config.region_initial_bytes, config.region_max_bytes)
+        self.allocator = PageAllocator(self.region, config.tree.page_size)
+        self.srq = Store(sim)
+        self.stats = VerbStats()
+        #: Memory accesses from the second socket cross QPI (Section 6.1).
+        self.qpi_factor = config.cpu.qpi_penalty if crosses_qpi else 1.0
+        self._handlers: Dict[Type, Handler] = {}
+        #: Index-design state keyed by (design, index name) — e.g. the
+        #: server-local B-link trees the RPC handlers operate on.
+        self.app: Dict[Any, Any] = {}
+        self._workers_started = False
+        self._busy_time = 0.0
+        self._busy_since_reset = 0.0
+        self.rpcs_handled = 0
+        #: Reliable connections terminating here; without shared receive
+        #: queues every RPC pays a poll over all of them (Section 3.2).
+        self.connected_qps = 0
+
+    # -- CPU accounting ------------------------------------------------------
+
+    def cpu(self, seconds: float):
+        """Timeout event charging *seconds* of worker CPU (QPI-adjusted)."""
+        return self.sim.timeout(seconds * self.qpi_factor)
+
+    def cpu_bytes(self, nbytes: int):
+        """Timeout event for copying/serializing *nbytes* on a worker."""
+        return self.cpu(nbytes * self.config.cpu.per_byte_cost_s)
+
+    # -- RPC dispatch ----------------------------------------------------------
+
+    def register_handler(self, request_type: Type, handler: Handler) -> None:
+        """Install *handler* for requests of *request_type* and make sure the
+        worker pool is running."""
+        self._handlers[request_type] = handler
+        if not self._workers_started:
+            self._workers_started = True
+            for _ in range(self.config.cpu.cores_per_server):
+                self.sim.process(self._worker_loop())
+
+    def _worker_loop(self) -> Generator[Any, Any, None]:
+        """One RPC worker: pop a request off the SRQ, run its handler,
+        ship the response. The worker is occupied for the handler's whole
+        service time — including spin waits on node locks, which is what
+        degrades the two-sided designs under write contention (Figure 12).
+        """
+        cpu_config = self.config.cpu
+        while True:
+            envelope: RpcEnvelope = yield self.srq.get()
+            started = self.sim.now
+            fixed_cost = cpu_config.rpc_fixed_cost_s
+            if not cpu_config.use_srq:
+                # One receive queue per client: the worker scans them all.
+                fixed_cost += (
+                    cpu_config.receive_queue_poll_cost_s * self.connected_qps
+                )
+            yield self.cpu(fixed_cost)
+            handler = self._handlers.get(type(envelope.payload))
+            if handler is None:
+                raise NetworkError(
+                    f"memory server {self.server_id} has no handler for "
+                    f"{type(envelope.payload).__name__}"
+                )
+            response, wire_bytes = yield from handler(self, envelope.payload)
+            yield self.cpu_bytes(wire_bytes)
+            envelope.complete(response, wire_bytes)
+            self.rpcs_handled += 1
+            self._busy_time += self.sim.now - started
+
+    # -- utilization reporting ---------------------------------------------------
+
+    def reset_utilization(self) -> None:
+        """Start the busy-time accumulator afresh (after warm-up)."""
+        self._busy_since_reset = self._busy_time
+
+    def cpu_utilization(self, window_seconds: float) -> float:
+        """Mean worker-pool utilization over the last *window_seconds*."""
+        if window_seconds <= 0:
+            return 0.0
+        busy = self._busy_time - self._busy_since_reset
+        return busy / (window_seconds * self.config.cpu.cores_per_server)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryServer({self.server_id}, machine={self.machine.machine_id})"

@@ -1,0 +1,18 @@
+"""Simulated RDMA substrate: registered memory, NICs, fabric, queue pairs."""
+
+from repro.rdma.fabric import Fabric
+from repro.rdma.memory import MemoryRegion
+from repro.rdma.nic import Nic, NicPort
+from repro.rdma.qp import QueuePair, RpcEnvelope
+from repro.rdma.verbs import Verb, VerbStats
+
+__all__ = [
+    "Fabric",
+    "MemoryRegion",
+    "Nic",
+    "NicPort",
+    "QueuePair",
+    "RpcEnvelope",
+    "Verb",
+    "VerbStats",
+]

@@ -1,0 +1,57 @@
+"""The switched fabric connecting all NIC ports.
+
+The paper's cluster uses a single InfiniBand FDR 4x switch, so the fabric
+model is intentionally simple: every message pays one propagation delay
+(``one_way_latency_s``) plus store-and-forward occupancy of the sender's TX
+channel and the receiver's RX channel. The switch itself is never the
+bottleneck — per-port bandwidth and server CPUs are, exactly as in the
+paper's analysis (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.config import NetworkConfig
+from repro.sim import Simulator
+from repro.sim.resources import BandwidthChannel
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Latency/bandwidth model shared by all queue pairs."""
+
+    def __init__(self, sim: Simulator, config: NetworkConfig) -> None:
+        self.sim = sim
+        self.config = config
+        #: Optional :class:`repro.rdma.tracing.VerbTracer` capturing the
+        #: wire anatomy of operations (None during measurement runs).
+        self.tracer = None
+
+    def transmit(
+        self,
+        tx: BandwidthChannel,
+        rx: BandwidthChannel,
+        payload_bytes: int,
+    ) -> Generator[Any, Any, None]:
+        """Process: move one message of *payload_bytes* from *tx* to *rx*.
+
+        The message occupies the sender's TX line, propagates through the
+        switch, then occupies the receiver's RX line. Both line bookings
+        happen through channel reservations so the whole transmit costs a
+        single simulation event.
+        """
+        wire = payload_bytes + self.config.header_wire_bytes
+        tx_done = tx.reserve(wire)
+        arrival = tx_done + self.config.one_way_latency_s
+        rx_done = rx.reserve(wire, earliest=arrival)
+        yield self.sim.timeout(rx_done - self.sim.now)
+
+    def local_copy(self, payload_bytes: int) -> Generator[Any, Any, None]:
+        """Process: a same-machine memory access (co-located fast path)."""
+        cost = (
+            self.config.local_access_latency_s
+            + payload_bytes / self.config.local_memory_bandwidth_bytes_per_s
+        )
+        yield self.sim.timeout(cost)

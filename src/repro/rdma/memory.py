@@ -1,0 +1,95 @@
+"""Registered memory regions.
+
+A :class:`MemoryRegion` is the simulated equivalent of an RDMA-registered
+memory area on a memory server: a byte-addressable buffer that remote
+endpoints can READ/WRITE at arbitrary offsets and on which 8-byte atomic
+verbs (compare-and-swap, fetch-and-add) operate. Index pages really are
+serialized into these buffers, so transfer sizes and atomic semantics are
+exact, not estimated.
+
+Regions grow on demand (in fixed chunks) up to a configured maximum, which
+keeps small experiments cheap while allowing large bulk loads.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.errors import RemoteAccessError
+
+__all__ = ["MemoryRegion"]
+
+_U64 = struct.Struct("<Q")
+_GROW_CHUNK = 1 << 20  # 1 MiB
+
+
+class MemoryRegion:
+    """A growable, bounds-checked byte buffer with 8-byte atomics."""
+
+    def __init__(self, initial_bytes: int, max_bytes: int) -> None:
+        if initial_bytes < 0 or max_bytes < initial_bytes:
+            raise RemoteAccessError(
+                f"invalid region sizing: initial={initial_bytes}, max={max_bytes}"
+            )
+        self._buf = bytearray(initial_bytes)
+        self.max_bytes = max_bytes
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def _ensure(self, end: int) -> None:
+        if end <= len(self._buf):
+            return
+        if end > self.max_bytes:
+            raise RemoteAccessError(
+                f"access at {end} exceeds region maximum of {self.max_bytes} bytes"
+            )
+        # Grow in whole chunks so repeated appends stay amortized O(1).
+        target = min(self.max_bytes, max(end, len(self._buf) + _GROW_CHUNK))
+        self._buf.extend(bytes(target - len(self._buf)))
+
+    # -- bulk access ---------------------------------------------------------
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Copy *length* bytes starting at *offset* (zero-filled if never written)."""
+        if offset < 0 or length < 0:
+            raise RemoteAccessError(f"bad read at offset={offset}, length={length}")
+        self._ensure(offset + length)
+        return bytes(self._buf[offset : offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Store *data* at *offset*."""
+        if offset < 0:
+            raise RemoteAccessError(f"bad write at offset={offset}")
+        end = offset + len(data)
+        self._ensure(end)
+        self._buf[offset:end] = data
+
+    # -- 8-byte word access (the granularity of RDMA atomics) ----------------
+
+    def read_u64(self, offset: int) -> int:
+        self._ensure(offset + 8)
+        return _U64.unpack_from(self._buf, offset)[0]
+
+    def write_u64(self, offset: int, value: int) -> None:
+        self._ensure(offset + 8)
+        _U64.pack_into(self._buf, offset, value & 0xFFFFFFFFFFFFFFFF)
+
+    def compare_and_swap(self, offset: int, expected: int, new: int) -> Tuple[bool, int]:
+        """Atomic 8-byte CAS; returns ``(swapped, old_value)``.
+
+        Like the RDMA verb, the old value is returned whether or not the
+        swap happened.
+        """
+        old = self.read_u64(offset)
+        if old == expected:
+            self.write_u64(offset, new)
+            return True, old
+        return False, old
+
+    def fetch_and_add(self, offset: int, delta: int) -> int:
+        """Atomic 8-byte fetch-and-add; returns the value before the add."""
+        old = self.read_u64(offset)
+        self.write_u64(offset, (old + delta) & 0xFFFFFFFFFFFFFFFF)
+        return old

@@ -1,0 +1,192 @@
+"""Reliable-connection queue pairs.
+
+A :class:`QueuePair` connects a client endpoint (a compute-server thread's
+NIC port) to one memory server and exposes the verbs of Section 2.1 as
+simulation processes:
+
+* one-sided: :meth:`read`, :meth:`write`, :meth:`compare_and_swap`,
+  :meth:`fetch_and_add` — executed against the server's registered
+  :class:`~repro.rdma.memory.MemoryRegion` without involving its CPU;
+* two-sided: :meth:`call` — an RPC implemented with SEND/RECEIVE over the
+  server's shared receive queue (SRQ, Section 3.2), handled by a
+  memory-server worker.
+
+When the cluster is co-located (Appendix A.3) and the remote server lives on
+the same physical machine, one-sided verbs take the local-memory fast path
+and bypass the NIC entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Tuple
+
+from repro.rdma.fabric import Fabric
+from repro.rdma.nic import NicPort
+from repro.rdma.verbs import Verb
+from repro.sim import Event, Simulator
+
+__all__ = ["QueuePair", "RpcEnvelope"]
+
+
+class RpcEnvelope:
+    """A two-sided request in flight, as seen by the memory server.
+
+    The server worker pops envelopes off the SRQ, runs the handler, and
+    finishes with :meth:`complete`, which ships the response back to the
+    client asynchronously (the NIC does the transfer; the worker is free
+    again immediately — mirroring how a real RPC thread posts a SEND and
+    moves on).
+    """
+
+    __slots__ = ("qp", "payload", "_reply")
+
+    def __init__(self, qp: "QueuePair", payload: Any, reply: Event) -> None:
+        self.qp = qp
+        self.payload = payload
+        self._reply = reply
+
+    def complete(self, response: Any, response_wire_bytes: int) -> None:
+        """Send *response* back to the caller (non-blocking for the worker)."""
+        self.qp._spawn_reply(self._reply, response, response_wire_bytes)
+
+
+class QueuePair:
+    """One client's reliable connection to one memory server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        local_port: NicPort,
+        remote_server: Any,
+        use_local_fast_path: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.local_port = local_port
+        self.remote = remote_server
+        self.is_local = use_local_fast_path
+
+    # -- internals -----------------------------------------------------------
+
+    def _request_leg(self, payload_bytes: int) -> Generator[Any, Any, None]:
+        yield from self.fabric.transmit(
+            self.local_port.tx, self.remote.port.rx, payload_bytes
+        )
+
+    def _response_leg(self, payload_bytes: int) -> Generator[Any, Any, None]:
+        yield from self.fabric.transmit(
+            self.remote.port.tx, self.local_port.rx, payload_bytes
+        )
+
+    # -- one-sided verbs -------------------------------------------------------
+
+    def _trace(self, verb: Verb, payload_bytes: int, started_at: float) -> None:
+        tracer = self.fabric.tracer
+        if tracer is not None:
+            tracer.record(
+                verb,
+                self.remote.server_id,
+                payload_bytes,
+                started_at,
+                self.sim.now,
+                local=self.is_local,
+            )
+
+    def read(self, offset: int, length: int) -> Generator[Any, Any, bytes]:
+        """RDMA READ *length* bytes at *offset* of the remote region."""
+        started_at = self.sim.now
+        self.remote.stats.record(Verb.READ, length)
+        if self.is_local:
+            yield from self.fabric.local_copy(length)
+        else:
+            yield from self._request_leg(self.fabric.config.request_wire_bytes)
+            yield from self._response_leg(length)
+        self._trace(Verb.READ, length, started_at)
+        return self.remote.region.read(offset, length)
+
+    def write(self, offset: int, data: bytes) -> Generator[Any, Any, None]:
+        """RDMA WRITE *data* at *offset* of the remote region."""
+        started_at = self.sim.now
+        self.remote.stats.record(Verb.WRITE, len(data))
+        if self.is_local:
+            yield from self.fabric.local_copy(len(data))
+        else:
+            yield from self._request_leg(
+                self.fabric.config.request_wire_bytes + len(data)
+            )
+            # Completion (ACK) back to the requester.
+            yield from self._response_leg(0)
+        self._trace(Verb.WRITE, len(data), started_at)
+        self.remote.region.write(offset, data)
+
+    def _atomic_legs(self) -> Generator[Any, Any, None]:
+        if self.is_local:
+            yield from self.fabric.local_copy(8)
+        else:
+            yield from self._request_leg(self.fabric.config.request_wire_bytes + 16)
+            yield self.sim.timeout(self.fabric.config.atomic_extra_latency_s)
+            yield from self._response_leg(8)
+
+    def compare_and_swap(
+        self, offset: int, expected: int, new: int
+    ) -> Generator[Any, Any, Tuple[bool, int]]:
+        """RDMA CAS on the 8-byte word at *offset*; returns ``(swapped, old)``."""
+        started_at = self.sim.now
+        self.remote.stats.record(Verb.CAS, 8)
+        yield from self._atomic_legs()
+        self._trace(Verb.CAS, 8, started_at)
+        return self.remote.region.compare_and_swap(offset, expected, new)
+
+    def fetch_and_add(self, offset: int, delta: int) -> Generator[Any, Any, int]:
+        """RDMA FETCH_AND_ADD on the 8-byte word at *offset*; returns old value."""
+        started_at = self.sim.now
+        self.remote.stats.record(Verb.FETCH_ADD, 8)
+        yield from self._atomic_legs()
+        self._trace(Verb.FETCH_ADD, 8, started_at)
+        return self.remote.region.fetch_and_add(offset, delta)
+
+    def read_many(self, requests) -> Generator[Any, Any, list]:
+        """Issue several READs in parallel and wait for all of them.
+
+        Used for head-node prefetching (Section 4.3): the scan overlaps the
+        round trips of up to ``prefetch_window`` leaf reads.
+        *requests* is an iterable of ``(offset, length)`` pairs; the return
+        value is the list of byte strings in request order.
+        """
+        pending = [
+            self.sim.process(self.read(offset, length)) for offset, length in requests
+        ]
+        results = yield self.sim.all_of(pending)
+        return results
+
+    # -- two-sided RPC ---------------------------------------------------------
+
+    def call(self, request: Any, request_wire_bytes: int) -> Generator[Any, Any, Any]:
+        """Two-sided RPC: SEND *request*, wait for the server's response.
+
+        The request lands in the server's shared receive queue and is
+        handled by one of its RPC workers; the response value of that
+        handler is returned here.
+        """
+        started_at = self.sim.now
+        self.remote.stats.record(Verb.SEND, request_wire_bytes)
+        reply = self.sim.event()
+        if self.is_local:
+            yield from self.fabric.local_copy(request_wire_bytes)
+        else:
+            yield from self._request_leg(request_wire_bytes)
+        self.remote.srq.put(RpcEnvelope(self, request, reply))
+        response = yield reply
+        self._trace(Verb.SEND, request_wire_bytes, started_at)
+        return response
+
+    def _spawn_reply(self, reply: Event, response: Any, wire_bytes: int) -> None:
+        def ship() -> Generator[Any, Any, None]:
+            if self.is_local:
+                yield from self.fabric.local_copy(wire_bytes)
+            else:
+                yield from self._response_leg(wire_bytes)
+            reply.succeed(response)
+
+        self.sim.process(ship())

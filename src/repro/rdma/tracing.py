@@ -1,0 +1,117 @@
+"""Verb-level tracing.
+
+Attach a :class:`VerbTracer` to a cluster's fabric and every RDMA verb a
+queue pair executes is recorded with its timing — the exact wire anatomy
+of an index operation. This is how you *see* the paper's design space:
+a coarse-grained lookup is one SEND/response pair; a fine-grained lookup
+is a chain of page READs; an insert adds CAS/WRITE/FAA lock traffic.
+
+Usage::
+
+    from repro.rdma.tracing import VerbTracer
+
+    with VerbTracer(cluster) as tracer:
+        cluster.execute(session.lookup(42))
+    print(tracer.format())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.rdma.verbs import Verb
+
+__all__ = ["TraceRecord", "VerbTracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One verb on the wire."""
+
+    verb: Verb
+    server_id: int
+    payload_bytes: int
+    started_at: float
+    finished_at: float
+    #: True when the verb took the co-located local-memory fast path.
+    local: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class VerbTracer:
+    """Collects :class:`TraceRecord` objects from a cluster's queue pairs.
+
+    Works as a context manager; while attached, every verb of every
+    session on the cluster is recorded (tracing is for understanding and
+    debugging single operations, not for measurement runs).
+    """
+
+    def __init__(self, cluster) -> None:
+        self._cluster = cluster
+        self.records: List[TraceRecord] = []
+
+    # -- attachment ----------------------------------------------------------
+
+    def __enter__(self) -> "VerbTracer":
+        self._cluster.fabric.tracer = self
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._cluster.fabric.tracer = None
+
+    def record(
+        self,
+        verb: Verb,
+        server_id: int,
+        payload_bytes: int,
+        started_at: float,
+        finished_at: float,
+        local: bool = False,
+    ) -> None:
+        self.records.append(
+            TraceRecord(verb, server_id, payload_bytes, started_at,
+                        finished_at, local)
+        )
+
+    # -- reporting ---------------------------------------------------------------
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    @property
+    def round_trips(self) -> int:
+        """Verbs that crossed the network (local fast-path ones excluded)."""
+        return sum(1 for record in self.records if not record.local)
+
+    @property
+    def total_payload_bytes(self) -> int:
+        return sum(record.payload_bytes for record in self.records)
+
+    def count(self, verb: Verb) -> int:
+        return sum(1 for record in self.records if record.verb == verb)
+
+    def format(self, relative_to: Optional[float] = None) -> str:
+        """A human-readable wire anatomy table."""
+        if not self.records:
+            return "(no verbs recorded)"
+        t0 = relative_to if relative_to is not None else self.records[0].started_at
+        lines = [
+            f"{'t (us)':>8s} {'verb':<10s} {'server':>6s} {'bytes':>7s} "
+            f"{'dur (us)':>9s}"
+        ]
+        for record in self.records:
+            label = record.verb.value + (" *local" if record.local else "")
+            lines.append(
+                f"{(record.started_at - t0) * 1e6:>8.2f} {label:<10s} "
+                f"{record.server_id:>6d} {record.payload_bytes:>7d} "
+                f"{record.duration * 1e6:>9.2f}"
+            )
+        lines.append(
+            f"total: {len(self.records)} verbs, "
+            f"{self.total_payload_bytes} payload bytes"
+        )
+        return "\n".join(lines)

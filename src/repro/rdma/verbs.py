@@ -1,0 +1,60 @@
+"""RDMA verb vocabulary and traffic statistics.
+
+The paper's designs use five verbs (Section 2.1): one-sided READ, WRITE,
+CAS, FETCH_AND_ADD, and two-sided SEND/RECEIVE. :class:`VerbStats` counts
+operations and payload bytes per verb so experiments can report network
+utilization (Figure 9) and verb mixes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["Verb", "VerbStats"]
+
+
+class Verb(enum.Enum):
+    """The RDMA operations used by the index designs."""
+
+    READ = "read"
+    WRITE = "write"
+    CAS = "cas"
+    FETCH_ADD = "fetch_add"
+    SEND = "send"
+
+
+@dataclass
+class VerbStats:
+    """Per-verb operation and byte counters.
+
+    ``bytes`` counts application payload (page/message bytes), not wire
+    headers; wire-level totals come from the NIC port channels.
+    """
+
+    ops: Dict[Verb, int] = field(default_factory=lambda: {v: 0 for v in Verb})
+    bytes: Dict[Verb, int] = field(default_factory=lambda: {v: 0 for v in Verb})
+
+    def record(self, verb: Verb, payload_bytes: int) -> None:
+        self.ops[verb] += 1
+        self.bytes[verb] += payload_bytes
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.ops.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+    def snapshot(self) -> "VerbStats":
+        """An independent copy (for warm-up deltas)."""
+        return VerbStats(ops=dict(self.ops), bytes=dict(self.bytes))
+
+    def delta(self, earlier: "VerbStats") -> "VerbStats":
+        """Counters accumulated since *earlier* was snapshotted."""
+        return VerbStats(
+            ops={v: self.ops[v] - earlier.ops[v] for v in Verb},
+            bytes={v: self.bytes[v] - earlier.bytes[v] for v in Verb},
+        )

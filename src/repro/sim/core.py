@@ -1,0 +1,301 @@
+"""A small discrete-event simulation kernel.
+
+The kernel follows the well-known *process interaction* style (as popularized
+by SimPy): model code is written as Python generators that ``yield`` events;
+the simulator advances virtual time, fires events, and resumes the waiting
+generators. The kernel is deliberately minimal — just what the RDMA fabric
+and NAM cluster models need:
+
+* :class:`Event` — a one-shot occurrence carrying a value or an exception.
+* :class:`Timeout` — an event that fires after a virtual-time delay.
+* :class:`Process` — wraps a generator; itself an event that fires when the
+  generator returns (its value is the generator's return value).
+* :class:`Condition` — ``all_of`` / ``any_of`` composition, used e.g. for
+  head-node prefetching where several RDMA READs are issued in parallel.
+* :class:`Simulator` — the event loop and virtual clock.
+
+Determinism: events scheduled for the same instant fire in scheduling order
+(a monotonically increasing sequence number breaks ties), so a seeded run is
+fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "Simulator",
+]
+
+#: Type alias for model code: a generator that yields events.
+ProcessGenerator = Generator["Event", Any, Any]
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence inside a :class:`Simulator`.
+
+    An event starts *pending*; it is *triggered* by :meth:`succeed` or
+    :meth:`fail`, after which the simulator fires its callbacks at the
+    current virtual time. Processes that ``yield`` a pending event are
+    suspended until it fires.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_is_error", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._is_error = False
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value/exception (it may not have fired yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and not self._is_error
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception it failed with)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value accessed before it triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        self._value = value
+        self.sim._queue_fire(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, which will be re-raised in
+        every process waiting on it."""
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail() requires an exception instance")
+        self._value = exception
+        self._is_error = True
+        self.sim._queue_fire(self)
+        return self
+
+    def _fire(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks or ():
+            callback(self)
+        if self._is_error and not self._defused:
+            # An un-waited-for failure must not pass silently.
+            raise self._value
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run *callback(event)* when the event fires (immediately if fired)."""
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` virtual seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self._value = value
+        self.sim._queue_fire(self, delay)
+
+
+class Process(Event):
+    """A running model process; fires when its generator returns.
+
+    The process drives its generator by sending each yielded event's value
+    back in (or throwing the event's exception). The generator's ``return``
+    value becomes the process event's value, so processes compose: one
+    process may ``yield`` another and receive its result.
+    """
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator) -> None:
+        super().__init__(sim)
+        self._generator = generator
+        # Kick the process off at the current instant.
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    def _resume(self, fired: Event) -> None:
+        while True:
+            try:
+                if fired._is_error:
+                    fired._defused = True
+                    target = self._generator.throw(fired.value)
+                else:
+                    target = self._generator.send(fired.value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # model code raised
+                self.fail(exc)
+                return
+            if not isinstance(target, Event):
+                self.fail(
+                    SimulationError(
+                        f"process yielded {target!r}, which is not an Event"
+                    )
+                )
+                return
+            if target.callbacks is None:
+                # Already fired: loop and resume immediately without
+                # recursing (keeps deep chains iterative).
+                fired = target
+                continue
+            target.add_callback(self._resume)
+            return
+
+
+class Condition(Event):
+    """Composite event over several child events.
+
+    With ``wait_all=True`` it fires once every child has fired (value: list
+    of child values, in the original order). With ``wait_all=False`` it
+    fires as soon as any child fires (value: that child's value). A failing
+    child fails the condition.
+    """
+
+    __slots__ = ("_events", "_wait_all", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], wait_all: bool) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._wait_all = wait_all
+        self._remaining = len(self._events)
+        if not self._events:
+            self.succeed([] if wait_all else None)
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            if child._is_error:
+                child._defused = True
+            return
+        if child._is_error:
+            child._defused = True
+            self.fail(child.value)
+            return
+        self._remaining -= 1
+        if not self._wait_all:
+            self.succeed(child.value)
+        elif self._remaining == 0:
+            self.succeed([event.value for event in self._events])
+
+
+class Simulator:
+    """The event loop and virtual clock.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def model():
+            yield sim.timeout(1.0)
+            return "done"
+
+        proc = sim.process(model())
+        sim.run()
+        assert proc.value == "done" and sim.now == 1.0
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Any] = []
+        self._sequence = 0
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event (a mailbox another process can fire)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing *delay* virtual seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start *generator* as a process; returns its completion event."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        """Event firing once all *events* fired; value is their value list."""
+        return Condition(self, events, wait_all=True)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        """Event firing once any of *events* fired."""
+        return Condition(self, events, wait_all=False)
+
+    # -- scheduling & the loop ---------------------------------------------
+
+    def _queue_fire(self, event: Event, delay: float = 0.0) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event queue drains or the clock passes *until*.
+
+        When stopped by *until*, the clock is set exactly to *until* and any
+        events scheduled later stay queued (``run`` may be called again).
+        """
+        heap = self._heap
+        while heap:
+            at, _seq, event = heap[0]
+            if until is not None and at > until:
+                self.now = until
+                return
+            heapq.heappop(heap)
+            self.now = at
+            event._fire()
+        if until is not None and until > self.now:
+            self.now = until
+
+    def run_until_complete(self, target: Event) -> Any:
+        """Run until *target* fires and return its value.
+
+        Raises :class:`SimulationError` if the queue drains first (a
+        deadlock in model code), or re-raises the event's exception if it
+        failed.
+        """
+        heap = self._heap
+        while not target.triggered:
+            if not heap:
+                raise SimulationError(
+                    "event queue drained before the awaited event fired "
+                    "(model deadlock?)"
+                )
+            at, _seq, event = heapq.heappop(heap)
+            self.now = at
+            event._fire()
+        if target._is_error:
+            target._defused = True
+            raise target.value
+        return target.value

@@ -1,0 +1,192 @@
+"""Contended resources for the simulation kernel.
+
+Three primitives cover everything the RDMA/NAM models need:
+
+* :class:`Resource` — a counted FIFO resource (CPU worker pools). Tracks a
+  busy-time integral so experiments can report utilization.
+* :class:`Store` — an unbounded FIFO message queue with blocking ``get``
+  (shared receive queues, RPC mailboxes).
+* :class:`BandwidthChannel` — a serial transmission line with a fixed
+  byte rate and per-message overhead (one direction of one NIC port).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.core import Event, Simulator
+
+__all__ = ["Resource", "Store", "BandwidthChannel"]
+
+
+class Resource:
+    """A counted resource granting up to *capacity* concurrent holders, FIFO.
+
+    Usage from a process::
+
+        yield resource.request()
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # Busy-time integral for utilization reporting.
+        self._busy_integral = 0.0
+        self._last_change = sim.now
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_integral += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def request(self) -> Event:
+        """Event that fires once a unit of the resource is granted."""
+        event = Event(self.sim)
+        if self.in_use < self.capacity and not self._waiters:
+            self._account()
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one unit; hands it to the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            # Ownership transfers directly; in_use stays constant.
+            self._waiters.popleft().succeed()
+        else:
+            self._account()
+            self.in_use -= 1
+
+    def acquire(self, hold_time: float) -> Generator[Event, Any, None]:
+        """Convenience process: wait for a unit, hold it *hold_time*, release."""
+        yield self.request()
+        try:
+            yield self.sim.timeout(hold_time)
+        finally:
+            self.release()
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests currently waiting for a unit."""
+        return len(self._waiters)
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean fraction of capacity in use over ``[since, now]``."""
+        self._account()
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_integral / (elapsed * self.capacity)
+
+    def reset_utilization(self) -> None:
+        """Start the busy-time integral afresh (e.g. after warm-up)."""
+        self._busy_integral = 0.0
+        self._last_change = self.sim.now
+
+
+class Store:
+    """Unbounded FIFO queue between processes.
+
+    ``put`` never blocks; ``get`` returns an event that fires with the next
+    item (immediately if one is queued). Items are delivered in insertion
+    order and each item goes to exactly one getter.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Enqueue *item*, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event firing with the next item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class BandwidthChannel:
+    """One direction of a transmission link with finite byte rate.
+
+    Transfers are serialized FIFO: a transfer of ``n`` bytes occupies the
+    channel for ``overhead + n / rate`` seconds. The implementation uses a
+    *reservation clock* instead of a queue — each transfer reserves the
+    next free slot on the line and sleeps until its completion time — which
+    is semantically identical for a serial line but costs a single event.
+    The channel counts bytes and messages so experiments can report network
+    utilization (paper Figure 9).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bytes_per_s: float,
+        per_message_overhead_s: float = 0.0,
+    ) -> None:
+        if rate_bytes_per_s <= 0:
+            raise SimulationError("bandwidth rate must be positive")
+        self.sim = sim
+        self.rate = rate_bytes_per_s
+        self.overhead = per_message_overhead_s
+        self._available_at = 0.0
+        self.bytes_total = 0
+        self.messages_total = 0
+
+    def reserve(self, nbytes: int, earliest: float = None) -> float:
+        """Book *nbytes* onto the line; returns the completion time.
+
+        *earliest* is the time the first byte can possibly be on this line
+        (e.g. after propagation from the sender); defaults to now.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size: {nbytes}")
+        start = self._available_at
+        if start < self.sim.now:
+            start = self.sim.now
+        if earliest is not None and start < earliest:
+            start = earliest
+        done = start + self.overhead + nbytes / self.rate
+        self._available_at = done
+        self.bytes_total += nbytes
+        self.messages_total += 1
+        return done
+
+    def transfer(self, nbytes: int) -> Generator[Event, Any, None]:
+        """Process: occupy the channel while *nbytes* go over the wire."""
+        done = self.reserve(nbytes)
+        yield self.sim.timeout(done - self.sim.now)
+
+    @property
+    def busy_until(self) -> float:
+        """The time at which the line next becomes idle."""
+        return max(self._available_at, self.sim.now)
+
+    def snapshot(self) -> Tuple[int, int]:
+        """``(bytes_total, messages_total)`` so far."""
+        return self.bytes_total, self.messages_total

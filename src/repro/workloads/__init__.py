@@ -1,0 +1,46 @@
+"""YCSB-style workload generation, execution, and measurement."""
+
+from repro.workloads.datagen import (
+    Dataset,
+    generate_dataset,
+    skew_fractions,
+    skewed_partitioner,
+)
+from repro.workloads.distributions import (
+    KeyChooser,
+    ScrambledZipfianChooser,
+    UniformChooser,
+    ZipfianChooser,
+    make_chooser,
+)
+from repro.workloads.metrics import OpType, RunResult
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.ycsb import (
+    WorkloadSpec,
+    workload_a,
+    workload_b,
+    workload_c,
+    workload_d,
+    workload_e,
+)
+
+__all__ = [
+    "Dataset",
+    "generate_dataset",
+    "skew_fractions",
+    "skewed_partitioner",
+    "KeyChooser",
+    "ScrambledZipfianChooser",
+    "UniformChooser",
+    "ZipfianChooser",
+    "make_chooser",
+    "OpType",
+    "RunResult",
+    "WorkloadRunner",
+    "WorkloadSpec",
+    "workload_a",
+    "workload_b",
+    "workload_c",
+    "workload_d",
+    "workload_e",
+]

@@ -1,0 +1,91 @@
+"""Request-key distributions.
+
+The paper's workloads draw request keys either uniformly at random over the
+key space or from a Zipfian distribution (the original YCSB access skew).
+The Zipfian generator is the standard YCSB bounded generator (Gray et al.'s
+method): item ranks follow ``P(rank) ~ 1 / rank^theta``; the scrambled
+variant spreads the hot ranks over the whole key space.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.index.partitioning import mix64
+
+__all__ = ["KeyChooser", "UniformChooser", "ZipfianChooser", "ScrambledZipfianChooser"]
+
+
+class KeyChooser(abc.ABC):
+    """Draws item indices in ``[0, num_items)``."""
+
+    def __init__(self, num_items: int, rng: np.random.Generator) -> None:
+        if num_items < 1:
+            raise ConfigurationError("need at least one item to choose from")
+        self.num_items = num_items
+        self.rng = rng
+
+    @abc.abstractmethod
+    def next_index(self) -> int:
+        """The next item index."""
+
+
+class UniformChooser(KeyChooser):
+    """Uniform over all items."""
+
+    def next_index(self) -> int:
+        return int(self.rng.integers(0, self.num_items))
+
+
+class ZipfianChooser(KeyChooser):
+    """YCSB-style bounded Zipfian over item ranks (rank 0 hottest)."""
+
+    def __init__(
+        self, num_items: int, rng: np.random.Generator, theta: float = 0.99
+    ) -> None:
+        super().__init__(num_items, rng)
+        if not 0 < theta < 1:
+            raise ConfigurationError("zipfian theta must be in (0, 1)")
+        self.theta = theta
+        ranks = np.arange(1, num_items + 1, dtype=np.float64)
+        self._zeta_n = float(np.sum(ranks ** -theta))
+        self._zeta_2 = 1.0 + 2.0 ** -theta if num_items >= 2 else 1.0
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / num_items) ** (1.0 - theta)) / (
+            1.0 - self._zeta_2 / self._zeta_n
+        )
+
+    def next_index(self) -> int:
+        u = self.rng.random()
+        uz = u * self._zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(
+            self.num_items
+            * (self._eta * u - self._eta + 1.0) ** self._alpha
+        ) % self.num_items
+
+
+class ScrambledZipfianChooser(ZipfianChooser):
+    """Zipfian ranks hashed over the item space (hot keys spread out)."""
+
+    def next_index(self) -> int:
+        return mix64(super().next_index()) % self.num_items
+
+
+def make_chooser(
+    kind: str, num_items: int, rng: np.random.Generator, theta: float = 0.99
+) -> KeyChooser:
+    """Factory: ``uniform``, ``zipfian`` or ``scrambled_zipfian``."""
+    if kind == "uniform":
+        return UniformChooser(num_items, rng)
+    if kind == "zipfian":
+        return ZipfianChooser(num_items, rng, theta)
+    if kind == "scrambled_zipfian":
+        return ScrambledZipfianChooser(num_items, rng, theta)
+    raise ConfigurationError(f"unknown distribution {kind!r}")

@@ -1,0 +1,90 @@
+"""Result containers and summary statistics for workload runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["OpType", "RunResult"]
+
+
+class OpType:
+    """Operation categories recorded by the runner."""
+
+    POINT = "point"
+    RANGE = "range"
+    INSERT = "insert"
+    DELETE = "delete"
+    ALL = (POINT, RANGE, INSERT, DELETE)
+
+
+@dataclass
+class RunResult:
+    """Measured outcome of one workload run (one design, one client count).
+
+    All rates are computed over the measurement window only (after
+    warm-up); latencies are per completed operation, in seconds.
+    """
+
+    design: str
+    workload: str
+    num_clients: int
+    window_s: float
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    latencies: Dict[str, List[float]] = field(default_factory=dict)
+    #: Per-memory-server (bytes_tx, bytes_rx) over the window.
+    network: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: Per-memory-server mean RPC-worker utilization over the window.
+    cpu_utilization: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.op_counts.values())
+
+    @property
+    def throughput(self) -> float:
+        """Completed operations per second (the paper's "Lookups/s")."""
+        if self.window_s <= 0:
+            return 0.0
+        return self.total_ops / self.window_s
+
+    def throughput_of(self, op_type: str) -> float:
+        if self.window_s <= 0:
+            return 0.0
+        return self.op_counts.get(op_type, 0) / self.window_s
+
+    @property
+    def network_bytes(self) -> int:
+        return sum(tx + rx for tx, rx in self.network.values())
+
+    @property
+    def network_gb_per_s(self) -> float:
+        """Aggregate memory-server traffic (the paper's Figure 9 metric)."""
+        if self.window_s <= 0:
+            return 0.0
+        return self.network_bytes / self.window_s / 1e9
+
+    def latency_mean(self, op_type: str) -> float:
+        samples = self.latencies.get(op_type)
+        return float(np.mean(samples)) if samples else float("nan")
+
+    def latency_percentile(self, op_type: str, percentile: float) -> float:
+        samples = self.latencies.get(op_type)
+        if not samples:
+            return float("nan")
+        return float(np.percentile(samples, percentile))
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.design} / {self.workload} / {self.num_clients} clients:",
+            f"{self.throughput:,.0f} ops/s",
+            f"{self.network_gb_per_s:.3f} GB/s",
+        ]
+        for op_type in OpType.ALL:
+            if self.op_counts.get(op_type):
+                parts.append(
+                    f"{op_type} p50={self.latency_percentile(op_type, 50) * 1e6:.1f}us"
+                )
+        return "  ".join(parts)

@@ -1,0 +1,190 @@
+"""Closed-loop workload execution (Section 6.1's measurement setup).
+
+Clients mirror the paper's: each client thread runs a closed loop (it
+waits for one operation to finish before issuing the next) drawing
+operations from a :class:`~repro.workloads.ycsb.WorkloadSpec`. Clients are
+grouped onto compute servers (40 per server by default, like the paper's
+testbed); each client owns one index session.
+
+A run has a warm-up phase and a measurement window. Throughput counts
+operations *completing* inside the window; network/CPU counters are
+snapshotted at the window edges.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.index.base import DistributedIndex
+from repro.nam.cluster import Cluster
+from repro.workloads.datagen import Dataset
+from repro.workloads.distributions import make_chooser
+from repro.workloads.metrics import OpType, RunResult
+from repro.workloads.ycsb import WorkloadSpec
+
+__all__ = ["WorkloadRunner"]
+
+
+class _ClientState:
+    """Shared flags and per-op records of one run."""
+
+    def __init__(self) -> None:
+        self.stop = False
+        self.measure_from: Optional[float] = None
+        # (op_type, start, end) triples, appended by clients.
+        self.records: List[Tuple[str, float, float]] = []
+        # Shared sequence for "append" inserts (YCSB-style key counter).
+        self.append_seq = 0
+
+
+class WorkloadRunner:
+    """Drives one workload against one index on a cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        dataset: Dataset,
+        clients_per_compute_server: Optional[int] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.dataset = dataset
+        self.clients_per_cs = (
+            clients_per_compute_server
+            if clients_per_compute_server is not None
+            else cluster.config.clients_per_compute_server
+        )
+        if self.clients_per_cs < 1:
+            raise ConfigurationError("clients_per_compute_server must be >= 1")
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        index: DistributedIndex,
+        spec: Optional[WorkloadSpec] = None,
+        num_clients: Optional[int] = None,
+        warmup_s: float = 0.002,
+        measure_s: float = 0.02,
+        seed: int = 1,
+        populations: Optional[Sequence[Tuple[WorkloadSpec, int]]] = None,
+    ) -> RunResult:
+        """Execute a workload with closed-loop clients.
+
+        Either pass one *spec* with *num_clients*, or *populations* — a
+        list of ``(spec, count)`` pairs for heterogeneous client mixes
+        (e.g. dedicated reader and writer populations).
+
+        Returns a :class:`RunResult` for the measurement window. The same
+        cluster can be reused across runs (counters are windowed), but each
+        run adds the compute servers it needs.
+        """
+        if populations is None:
+            if spec is None or num_clients is None:
+                raise ConfigurationError(
+                    "pass either (spec, num_clients) or populations"
+                )
+            populations = [(spec, num_clients)]
+        total_clients = sum(count for _spec, count in populations)
+        if total_clients < 1:
+            raise ConfigurationError("need at least one client")
+        state = _ClientState()
+        client_procs = []
+        compute_server = None
+        client_id = 0
+        for client_spec, count in populations:
+            for _ in range(count):
+                if client_id % self.clients_per_cs == 0:
+                    compute_server = self.cluster.new_compute_server()
+                session = index.session(compute_server)
+                rng = np.random.default_rng((seed, client_id))
+                client_procs.append(
+                    self.cluster.spawn(
+                        self._client_loop(client_id, session, client_spec, rng, state)
+                    )
+                )
+                client_id += 1
+        workload_name = "+".join(
+            spec_.name for spec_, _count in populations
+        )
+        num_clients = total_clients
+
+        controller = self.cluster.spawn(
+            self._controller(state, warmup_s, measure_s)
+        )
+        counters = self.cluster.sim.run_until_complete(controller)
+        self.cluster.sim.run_until_complete(self.cluster.sim.all_of(client_procs))
+
+        window_end = state.measure_from + measure_s
+        result = RunResult(
+            design=index.design,
+            workload=workload_name,
+            num_clients=num_clients,
+            window_s=measure_s,
+            network=counters["network"],
+            cpu_utilization=counters["cpu"],
+        )
+        for op_type, start, end in state.records:
+            if state.measure_from <= end <= window_end:
+                result.op_counts[op_type] = result.op_counts.get(op_type, 0) + 1
+                result.latencies.setdefault(op_type, []).append(end - start)
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _controller(
+        self, state: _ClientState, warmup_s: float, measure_s: float
+    ) -> Generator[Any, Any, dict]:
+        yield self.cluster.sim.timeout(warmup_s)
+        baseline = self.cluster.reset_measurement()
+        state.measure_from = self.cluster.now
+        yield self.cluster.sim.timeout(measure_s)
+        state.stop = True
+        # Snapshot counters exactly at the window edge, before the clients'
+        # in-flight operations drain.
+        return self.cluster.measurement_delta(baseline)
+
+    def _client_loop(
+        self,
+        client_id: int,
+        session,
+        spec: WorkloadSpec,
+        rng: np.random.Generator,
+        state: _ClientState,
+    ) -> Generator[Any, Any, None]:
+        dataset = self.dataset
+        chooser = make_chooser(
+            spec.distribution, dataset.num_keys, rng, spec.zipf_theta
+        )
+        range_span = max(1, int(spec.selectivity * dataset.key_space))
+        insert_seq = 0
+        sim = self.cluster.sim
+        while not state.stop:
+            draw = rng.random()
+            start = sim.now
+            if draw < spec.point_fraction:
+                key = dataset.key_at(chooser.next_index())
+                yield from session.lookup(key)
+                op_type = OpType.POINT
+            elif draw < spec.point_fraction + spec.range_fraction:
+                low = dataset.key_at(chooser.next_index())
+                yield from session.range_scan(low, low + range_span)
+                op_type = OpType.RANGE
+            elif draw < (spec.point_fraction + spec.range_fraction
+                         + spec.delete_fraction):
+                key = dataset.key_at(chooser.next_index())
+                yield from session.delete(key)
+                op_type = OpType.DELETE
+            else:
+                if spec.insert_pattern == "append":
+                    key = dataset.key_space + state.append_seq
+                    state.append_seq += 1
+                else:
+                    key = int(rng.integers(0, dataset.key_space))
+                value = client_id * 1_000_000 + insert_seq
+                insert_seq += 1
+                yield from session.insert(key, value)
+                op_type = OpType.INSERT
+            state.records.append((op_type, start, sim.now))

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.workloads import generate_dataset
+
+
+@pytest.fixture
+def small_config() -> ClusterConfig:
+    """Four memory servers on two machines — the paper's main setup."""
+    return ClusterConfig(num_memory_servers=4, seed=11)
+
+
+@pytest.fixture
+def cluster(small_config) -> Cluster:
+    return Cluster(small_config)
+
+
+@pytest.fixture
+def compute(cluster):
+    return cluster.new_compute_server()
+
+
+@pytest.fixture
+def dataset():
+    """2000 keys spaced 8 apart: small enough for fast tests, large enough
+    for a three-level tree at the default page size."""
+    return generate_dataset(2_000, gap=8)
+
+
+@pytest.fixture
+def pairs(dataset):
+    return dataset.pairs()

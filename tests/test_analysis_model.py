@@ -1,0 +1,86 @@
+"""Tests for the theoretical scalability model (Tables 1-2, Figure 3)."""
+
+import pytest
+
+from repro.analysis import (
+    ModelParams,
+    ScalabilityModel,
+    figure3_series,
+    format_table2,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def paper_params():
+    """The example column of Table 1."""
+    return ModelParams()
+
+
+def test_table1_example_values(paper_params):
+    assert paper_params.fanout == 42
+    assert paper_params.leaves == pytest.approx(100e6 / 42)
+    assert paper_params.height_fg == 4
+    assert paper_params.height_cg_uniform == 4
+
+
+def test_available_bandwidth_supply(paper_params):
+    model = ScalabilityModel(paper_params)
+    assert model.available_bandwidth("fg", skewed=False) == 200e9
+    assert model.available_bandwidth("fg", skewed=True) == 200e9
+    assert model.available_bandwidth("cg_range", skewed=True) == 50e9
+    assert model.available_bandwidth("cg_hash", skewed=True) == 50e9
+
+
+def test_point_query_bytes(paper_params):
+    model = ScalabilityModel(paper_params)
+    assert model.point_query_bytes("fg", skewed=False) == 4 * 1024
+    # Skew adds z pages of read amplification.
+    assert model.point_query_bytes("fg", skewed=True, z=10) == (4 + 10) * 1024
+
+
+def test_range_query_traversal_multiplier_for_hash(paper_params):
+    model = ScalabilityModel(paper_params)
+    range_part = model.range_query_bytes("cg_range", False, 0.001)
+    hash_part = model.range_query_bytes("cg_hash", False, 0.001)
+    assert hash_part - range_part == (4 - 1) * 4 * 1024  # (S-1) * H * P
+
+
+def test_unknown_scheme_rejected(paper_params):
+    model = ScalabilityModel(paper_params)
+    with pytest.raises(ConfigurationError):
+        model.max_point_throughput("bogus", False)
+
+
+class TestFigure3Shape:
+    """The paper's headline analytical findings."""
+
+    def test_uniform_schemes_scale_linearly(self):
+        series = figure3_series(servers=(2, 4, 8, 16, 32, 64))
+        for label in ("fg (unif/skew)", "cg_range (unif)"):
+            values = series[label]
+            assert values[-1] / values[0] == pytest.approx(32, rel=0.05)
+
+    def test_skewed_cg_flatlines(self):
+        series = figure3_series(servers=(2, 4, 8, 16, 32, 64))
+        values = series["cg_range/hash (skew)"]
+        assert max(values) / min(values) < 1.01
+
+    def test_hash_slightly_below_range(self):
+        series = figure3_series(servers=(2, 4, 8, 16, 32, 64))
+        for hash_value, range_value in zip(
+            series["cg_hash (unif)"], series["cg_range (unif)"]
+        ):
+            assert hash_value < range_value
+            assert hash_value > 0.9 * range_value
+
+    def test_fg_unaffected_by_skew_and_dominates_skewed_cg(self):
+        series = figure3_series(servers=(4,))
+        assert series["fg (unif/skew)"][0] > 10 * series["cg_range/hash (skew)"][0]
+
+
+def test_format_table2_renders():
+    text = format_table2()
+    assert "avail BW" in text
+    assert "max range Q/s" in text
+    assert "cg_hash" in text

@@ -1,0 +1,181 @@
+"""Tests for bottom-up bulk loading."""
+
+import pytest
+
+from repro.btree import BLinkTree, MAX_KEY, Node, NodeType, bulk_load, is_null
+from repro.btree.inmemory import InMemoryAccessor, InMemoryRootRef, drive
+from repro.btree.pointers import RemotePointer, encode_pointer
+from repro.errors import IndexError_
+
+
+class DictSink:
+    """Multi-server page sink over plain dicts."""
+
+    def __init__(self, page_size=256, num_servers=4):
+        self.page_size = page_size
+        self.pages = {}
+        self._next = {sid: page_size for sid in range(num_servers)}
+
+    def alloc_page(self, server_id):
+        offset = self._next[server_id]
+        self._next[server_id] += self.page_size
+        return offset
+
+    def write_page(self, server_id, offset, data):
+        self.pages[encode_pointer(server_id, offset)] = data
+
+
+class SinkAccessor(InMemoryAccessor):
+    """Read-only accessor over a DictSink's pages (for traversal checks)."""
+
+    def __init__(self, sink):
+        super().__init__(page_size=sink.page_size)
+        for raw, data in sink.pages.items():
+            self._pages[raw] = bytearray(data)
+
+
+class FixedRoot(InMemoryRootRef):
+    def __init__(self, accessor, root_raw):
+        self.accessor = accessor
+        self._root = root_raw
+
+
+def load(pairs, num_servers=4, page_size=256, **kwargs):
+    sink = DictSink(page_size, num_servers)
+    result = bulk_load(
+        pairs,
+        sink,
+        place_leaf=lambda i: i % num_servers,
+        place_inner=lambda level, i: (level + i) % num_servers,
+        **kwargs,
+    )
+    return result, sink
+
+
+def tree_over(result, sink, **kw):
+    accessor = SinkAccessor(sink)
+    return BLinkTree(accessor, FixedRoot(accessor, result.root_raw), **kw)
+
+
+def test_empty_load_produces_single_empty_leaf():
+    result, sink = load([])
+    assert result.num_leaves == 1
+    assert result.height == 1
+    tree = tree_over(result, sink)
+    assert drive(tree.lookup(5)) == []
+
+
+def test_single_pair():
+    result, sink = load([(10, 100)])
+    tree = tree_over(result, sink)
+    assert drive(tree.lookup(10)) == [100]
+
+
+def test_loaded_tree_is_valid_and_complete():
+    pairs = [(k * 2, k) for k in range(1000)]
+    result, sink = load(pairs)
+    tree = tree_over(result, sink)
+    stats = drive(tree.validate())
+    assert stats["entries"] == 1000
+    assert stats["leaves"] == result.num_leaves
+    assert drive(tree.range_scan(0, 2000)) == pairs
+    for key, value in pairs[::97]:
+        assert drive(tree.lookup(key)) == [value]
+
+
+def test_unsorted_input_rejected():
+    with pytest.raises(IndexError_, match="sorted"):
+        load([(5, 1), (3, 2)])
+
+
+def test_fill_factor_controls_leaf_count():
+    pairs = [(k, k) for k in range(500)]
+    full, _ = load(pairs, **{"fill": 1.0})
+    loose, _ = load(pairs, **{"fill": 0.5})
+    assert loose.num_leaves > full.num_leaves
+
+
+def test_round_robin_placement_balances_servers():
+    pairs = [(k, k) for k in range(2000)]
+    result, _ = load(pairs, num_servers=4)
+    counts = result.pages_per_server
+    assert len(counts) == 4
+    assert max(counts.values()) - min(counts.values()) <= result.height + 2
+
+
+def test_duplicate_runs_never_straddle_leaves():
+    pairs = sorted([(k // 6, k) for k in range(600)])
+    result, sink = load(pairs)
+    tree = tree_over(result, sink)
+    for key in (0, 17, 50, 99):
+        assert len(drive(tree.lookup(key))) == 6
+    drive(tree.validate())
+
+
+def test_oversized_duplicate_run_rejected():
+    capacity = 13  # fanout(256)
+    pairs = [(7, payload) for payload in range(capacity + 1)]
+    with pytest.raises(IndexError_, match="equal keys"):
+        load(pairs)
+
+
+def test_min_height_forces_inner_root():
+    result, sink = load([(1, 1)], min_height=2)
+    assert result.height == 2
+    accessor = SinkAccessor(sink)
+    root = drive(accessor.read_node(result.root_raw))
+    assert root.is_inner
+    assert root.level == 1
+    tree = tree_over(result, sink)
+    assert drive(tree.lookup(1)) == [1]
+
+
+class TestHeadNodes:
+    def test_heads_installed_per_group(self):
+        pairs = [(k, k) for k in range(1000)]
+        result, sink = load(pairs, head_interval=4)
+        assert result.num_heads == -(-result.num_leaves // 4)
+
+    def test_leaves_point_at_their_group_head(self):
+        pairs = [(k, k) for k in range(500)]
+        result, sink = load(pairs, head_interval=4)
+        accessor = SinkAccessor(sink)
+        node = drive(accessor.read_node(result.root_raw))
+        while node.is_inner:
+            node = drive(accessor.read_node(node.values[0]))
+        seen_heads = set()
+        count = 0
+        while True:
+            assert not is_null(node.head)
+            head = drive(accessor.read_node(node.head))
+            assert head.is_head
+            seen_heads.add(node.head)
+            count += 1
+            if is_null(node.right):
+                break
+            node = drive(accessor.read_node(node.right))
+        assert count == result.num_leaves
+        assert len(seen_heads) == result.num_heads
+
+    def test_head_entries_map_first_keys_to_leaves(self):
+        pairs = [(k, k) for k in range(400)]
+        result, sink = load(pairs, head_interval=8)
+        accessor = SinkAccessor(sink)
+        node = drive(accessor.read_node(result.root_raw))
+        while node.is_inner:
+            node = drive(accessor.read_node(node.values[0]))
+        head = drive(accessor.read_node(node.head))
+        for first_key, leaf_ptr in zip(head.keys, head.values):
+            leaf = drive(accessor.read_node(leaf_ptr))
+            assert leaf.is_leaf
+            assert leaf.keys[0] == first_key
+
+    def test_prefetching_scan_equals_serial_scan(self):
+        pairs = [(k, k) for k in range(800)]
+        result, sink = load(pairs, head_interval=4)
+        serial = tree_over(result, sink, use_head_nodes=False)
+        prefetching = tree_over(result, sink, use_head_nodes=True,
+                                prefetch_window=4)
+        assert drive(prefetching.range_scan(100, 700)) == drive(
+            serial.range_scan(100, 700)
+        )

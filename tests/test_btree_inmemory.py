@@ -1,0 +1,91 @@
+"""Tests for the standalone in-memory accessor."""
+
+import pytest
+
+from repro.btree import BLinkTree, Node, NodeType
+from repro.btree.inmemory import InMemoryAccessor, InMemoryRootRef, drive
+from repro.errors import IndexError_, SimulationError
+
+
+def test_drive_returns_generator_value():
+    def gen():
+        return 42
+        yield  # pragma: no cover
+
+    assert drive(gen()) == 42
+
+
+def test_drive_rejects_suspension():
+    from repro.sim import Simulator
+
+    sim = Simulator()
+
+    def gen():
+        yield sim.timeout(1.0)
+
+    with pytest.raises(SimulationError, match="suspended"):
+        drive(gen())
+
+
+def test_accessor_roundtrip():
+    acc = InMemoryAccessor(page_size=256)
+    ptr = drive(acc.alloc(0))
+    node = Node(NodeType.LEAF, 0, keys=[1, 2], values=[10, 20])
+    drive(acc.write_node(ptr, node))
+    back = drive(acc.read_node(ptr))
+    assert back.keys == [1, 2] and back.values == [10, 20]
+
+
+def test_accessor_lock_protocol():
+    acc = InMemoryAccessor(page_size=256)
+    ptr = drive(acc.alloc(0))
+    drive(acc.write_node(ptr, Node(NodeType.LEAF, 0)))
+    assert drive(acc.try_lock(ptr, 0)) is True
+    assert drive(acc.try_lock(ptr, 0)) is False  # already locked
+    node = drive(acc.read_node(ptr))
+    assert node.is_locked
+    drive(acc.unlock_nochange(ptr))
+    node = drive(acc.read_node(ptr))
+    assert not node.is_locked
+    assert node.version == 2
+
+
+def test_unlock_write_installs_new_content_and_even_version():
+    acc = InMemoryAccessor(page_size=256)
+    ptr = drive(acc.alloc(0))
+    drive(acc.write_node(ptr, Node(NodeType.LEAF, 0)))
+    assert drive(acc.try_lock(ptr, 0))
+    node = drive(acc.read_node(ptr))
+    node.keys, node.values = [9], [90]
+    node.version = 0  # stale local copy version; unlock_write fixes it up
+    drive(acc.unlock_write(ptr, node))
+    back = drive(acc.read_node(ptr))
+    assert back.keys == [9]
+    assert not back.is_locked
+
+
+def test_missing_page_raises():
+    acc = InMemoryAccessor(page_size=256)
+    with pytest.raises(IndexError_):
+        drive(acc.read_node(123456))
+
+
+def test_root_ref_cas():
+    acc = InMemoryAccessor(page_size=256)
+    root = InMemoryRootRef(acc)
+    original = drive(root.get())
+    other = drive(acc.alloc(1))
+    assert drive(root.compare_and_swap(original, other)) is True
+    assert drive(root.get()) == other
+    assert drive(root.compare_and_swap(original, other)) is False
+
+
+def test_full_tree_on_in_memory_accessor_is_usable_as_a_library():
+    """The headline standalone use case from the module docstring."""
+    acc = InMemoryAccessor(page_size=512)
+    tree = BLinkTree(acc, InMemoryRootRef(acc))
+    for key in range(1000):
+        drive(tree.insert(key, key * 3))
+    assert drive(tree.lookup(500)) == [1500]
+    assert len(drive(tree.range_scan(0, 1000))) == 1000
+    assert acc.num_pages > 10

@@ -1,0 +1,69 @@
+"""Tests for remote pointer encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.btree.pointers import (
+    NULL_RAW,
+    RemotePointer,
+    encode_pointer,
+    is_null,
+)
+from repro.errors import RemoteAccessError
+
+
+def test_roundtrip():
+    raw = encode_pointer(5, 123456)
+    pointer = RemotePointer.from_raw(raw)
+    assert pointer.server_id == 5
+    assert pointer.offset == 123456
+    assert pointer.raw == raw
+
+
+def test_null_raw_is_null():
+    assert is_null(NULL_RAW)
+
+
+def test_zero_is_null():
+    assert is_null(0)
+
+
+def test_valid_pointer_is_not_null():
+    assert not is_null(encode_pointer(0, 1024))
+
+
+def test_decoding_null_raises():
+    with pytest.raises(RemoteAccessError):
+        RemotePointer.from_raw(NULL_RAW)
+
+
+def test_server_id_bounds():
+    encode_pointer(127, 0)  # max 7-bit value
+    with pytest.raises(RemoteAccessError):
+        encode_pointer(128, 0)
+    with pytest.raises(RemoteAccessError):
+        encode_pointer(-1, 0)
+
+
+def test_offset_bounds():
+    encode_pointer(0, (1 << 56) - 1)
+    with pytest.raises(RemoteAccessError):
+        encode_pointer(0, 1 << 56)
+
+
+def test_zero_zero_reserved():
+    with pytest.raises(RemoteAccessError, match="reserved"):
+        encode_pointer(0, 0)
+
+
+@given(
+    server_id=st.integers(min_value=0, max_value=127),
+    offset=st.integers(min_value=1, max_value=(1 << 56) - 1),
+)
+def test_roundtrip_property(server_id, offset):
+    raw = encode_pointer(server_id, offset)
+    pointer = RemotePointer.from_raw(raw)
+    assert (pointer.server_id, pointer.offset) == (server_id, offset)
+    # Valid pointers never collide with the NULL encodings.
+    assert not is_null(raw)

@@ -1,0 +1,62 @@
+"""Tests for configuration validation."""
+
+import pytest
+
+from repro.config import ClusterConfig, CpuConfig, NetworkConfig, TreeConfig
+from repro.errors import ConfigurationError
+
+
+def test_defaults_are_valid():
+    config = ClusterConfig()
+    assert config.num_memory_servers == 4
+    assert config.num_machines == 2
+    assert config.tree.page_size == 1024
+
+
+def test_with_replaces_fields():
+    config = ClusterConfig()
+    changed = config.with_(num_memory_servers=8, colocated=True)
+    assert changed.num_memory_servers == 8
+    assert changed.colocated is True
+    assert config.num_memory_servers == 4  # original untouched
+
+
+def test_network_validation():
+    with pytest.raises(ConfigurationError):
+        NetworkConfig(one_way_latency_s=-1)
+    with pytest.raises(ConfigurationError):
+        NetworkConfig(port_bandwidth_bytes_per_s=0)
+
+
+def test_cpu_validation():
+    with pytest.raises(ConfigurationError):
+        CpuConfig(cores_per_server=0)
+    with pytest.raises(ConfigurationError):
+        CpuConfig(qpi_penalty=0.5)
+
+
+def test_tree_validation():
+    with pytest.raises(ConfigurationError):
+        TreeConfig(page_size=64)
+    with pytest.raises(ConfigurationError):
+        TreeConfig(bulk_fill=0.01)
+    with pytest.raises(ConfigurationError):
+        TreeConfig(head_node_interval=-1)
+
+
+def test_cluster_validation():
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(num_memory_servers=0)
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(memory_servers_per_machine=0)
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(num_memory_servers=129)  # 7-bit server ids
+
+
+def test_num_machines():
+    assert ClusterConfig(num_memory_servers=4,
+                         memory_servers_per_machine=2).num_machines == 2
+    assert ClusterConfig(num_memory_servers=4,
+                         memory_servers_per_machine=1).num_machines == 4
+    assert ClusterConfig(num_memory_servers=3,
+                         memory_servers_per_machine=2).num_machines == 2

@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs end to end.
+
+The examples are the library's front door; they must never rot. Each is
+executed in-process (patched ``sys.argv`` where needed) at its default or
+a reduced scale.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+
+def run_example(name: str, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "coarse-grained" in out
+    assert "fine-grained" in out
+    assert "hybrid" in out
+    assert "lookup(4000)" in out
+
+
+def test_secondary_index_orders(capsys):
+    run_example("secondary_index_orders.py")
+    out = capsys.readouterr().out
+    assert "customer 1234 has 4 orders" in out
+    assert "epoch GC removed" in out
+
+
+def test_ycsb_comparison(capsys):
+    run_example("ycsb_comparison.py", ["--clients", "10", "--keys", "2000"])
+    out = capsys.readouterr().out
+    assert "workload A" in out
+    assert "workload D" in out
+
+
+def test_operation_anatomy(capsys):
+    run_example("operation_anatomy.py")
+    out = capsys.readouterr().out
+    assert "point lookup" in out
+    assert "send" in out and "read" in out
+    assert "fine-grained" in out
+
+
+def test_capacity_planning(capsys):
+    run_example("capacity_planning.py")
+    out = capsys.readouterr().out
+    assert "memory servers needed" in out
+    assert "fine-grained" in out

@@ -1,0 +1,98 @@
+"""Tests for client-side inner-node caching (Appendix A.4)."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig, FineGrainedIndex, cached_session
+from repro.rdma.verbs import Verb
+
+
+@pytest.fixture
+def fg(dataset):
+    cluster = Cluster(ClusterConfig(num_memory_servers=4, seed=21))
+    index = FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+    return cluster, dataset, index
+
+
+def total_reads(cluster):
+    return sum(server.stats.ops[Verb.READ] for server in cluster.memory_servers)
+
+
+def test_cached_lookups_are_correct(fg):
+    cluster, dataset, index = fg
+    session = cached_session(index, cluster.new_compute_server(), ttl_s=1.0)
+    for i in (0, 5, 77, 1999):
+        assert cluster.execute(session.lookup(dataset.key_at(i))) == [i]
+
+
+def test_repeat_lookups_save_reads(fg):
+    cluster, dataset, index = fg
+    session = cached_session(index, cluster.new_compute_server(), ttl_s=1.0)
+    cluster.execute(session.lookup(dataset.key_at(100)))
+    warm = total_reads(cluster)
+    cluster.execute(session.lookup(dataset.key_at(100)))
+    # Only the leaf READ goes to the network; inner levels come from cache.
+    assert total_reads(cluster) - warm == 1
+    assert session._tree.acc.hits > 0
+
+
+def test_leaves_never_cached(fg):
+    cluster, dataset, index = fg
+    session = cached_session(index, cluster.new_compute_server(), ttl_s=1.0)
+    writer = index.session(cluster.new_compute_server())
+    key = dataset.key_at(42)
+    assert cluster.execute(session.lookup(key)) == [42]
+    cluster.execute(writer.insert(key, 4242))
+    # The cached session sees the new value immediately: leaf reads are
+    # always fresh.
+    assert sorted(cluster.execute(session.lookup(key))) == [42, 4242]
+
+
+def test_ttl_expires_entries(fg):
+    cluster, dataset, index = fg
+    session = cached_session(index, cluster.new_compute_server(), ttl_s=1e-9)
+    cluster.execute(session.lookup(dataset.key_at(1)))
+    warm = total_reads(cluster)
+    cluster.execute(session.lookup(dataset.key_at(1)))
+    assert total_reads(cluster) - warm > 1  # cache was cold again
+    assert session._tree.acc.hits == 0
+
+
+def test_writes_invalidate_cached_pages(fg):
+    cluster, dataset, index = fg
+    session = cached_session(index, cluster.new_compute_server(), ttl_s=10.0)
+    accessor = session._tree.acc
+    cluster.execute(session.lookup(dataset.key_at(7)))
+    assert len(accessor._cache) > 0
+    # Insert through the same session: pages it locks get invalidated.
+    cluster.execute(session.insert(dataset.key_at(7) + 1, 1))
+    assert cluster.execute(session.lookup(dataset.key_at(7) + 1)) == [1]
+
+
+def test_capacity_bounds_cache(fg):
+    cluster, dataset, index = fg
+    session = cached_session(
+        index, cluster.new_compute_server(), capacity=2, ttl_s=10.0
+    )
+    for i in range(0, 2000, 97):
+        cluster.execute(session.lookup(dataset.key_at(i)))
+    assert len(session._tree.acc._cache) <= 2
+
+
+def test_cached_session_survives_concurrent_splits(fg):
+    """Stale cached inner nodes are routed around via move-right."""
+    cluster, dataset, index = fg
+    reader = cached_session(index, cluster.new_compute_server(), ttl_s=10.0)
+    writer = index.session(cluster.new_compute_server())
+    # Warm the cache.
+    for i in range(0, 2000, 40):
+        cluster.execute(reader.lookup(dataset.key_at(i)))
+    # Force many splits near one spot.
+    for i in range(250):
+        cluster.execute(writer.insert(dataset.key_at(1000) + 1 + (i % 7), i))
+    # Cached traversals still find both old and new keys.
+    assert cluster.execute(reader.lookup(dataset.key_at(1000))) == [1000]
+    got = cluster.execute(
+        reader.range_scan(dataset.key_at(1000), dataset.key_at(1001))
+    )
+    assert len(got) == 251
+    assert reader._tree.acc.hit_rate > 0

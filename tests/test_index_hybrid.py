@@ -1,0 +1,85 @@
+"""Design-specific tests for the hybrid index."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig, HybridIndex
+from repro.btree.pointers import RemotePointer
+from repro.rdma.verbs import Verb
+from repro.workloads import generate_dataset, skewed_partitioner
+
+
+def build(cluster, dataset, **kwargs):
+    return HybridIndex.build(
+        cluster, "idx", dataset.pairs(), key_space=dataset.key_space, **kwargs
+    )
+
+
+def test_inner_nodes_on_owner_leaves_spread(cluster, dataset):
+    index = build(cluster, dataset)
+    # Inner trees are local-only: validation through the local accessor
+    # would fail on a foreign pointer at the inner levels.
+    for server_id in range(4):
+        inner = index.inner_tree(server_id)
+        root_ptr = cluster.execute(inner.root.refresh())
+        root = cluster.execute(inner._read_unlocked(root_ptr))
+        assert root.is_inner
+        assert RemotePointer.from_raw(root_ptr).server_id == server_id
+    # Leaves are spread: every server allocated roughly equal page counts.
+    allocated = [s.allocator.pages_allocated for s in cluster.memory_servers]
+    assert max(allocated) - min(allocated) <= max(allocated) * 0.6
+
+
+def test_leaves_spread_even_under_skewed_partitioning(cluster, dataset):
+    index = build(cluster, dataset, partitioner=skewed_partitioner(dataset, 4))
+    allocated = [s.allocator.pages_allocated for s in cluster.memory_servers]
+    # 80% of the data belongs to server 0's partition, yet pages balance.
+    assert max(allocated) <= 1.5 * min(allocated)
+
+
+def test_lookup_is_one_rpc_plus_one_read(cluster, dataset):
+    index = build(cluster, dataset)
+    session = index.session(cluster.new_compute_server())
+    rpcs_before = sum(s.rpcs_handled for s in cluster.memory_servers)
+    reads_before = sum(s.stats.ops[Verb.READ] for s in cluster.memory_servers)
+    assert cluster.execute(session.lookup(dataset.key_at(123))) == [123]
+    assert sum(s.rpcs_handled for s in cluster.memory_servers) == rpcs_before + 1
+    assert sum(s.stats.ops[Verb.READ] for s in cluster.memory_servers) == reads_before + 1
+
+
+def test_leaf_split_installs_separator_via_rpc(cluster, dataset):
+    index = build(cluster, dataset)
+    session = index.session(cluster.new_compute_server())
+    target = dataset.key_at(100)
+    # Overfill one leaf so it splits client-side.
+    for i in range(150):
+        cluster.execute(session.insert(target + 1 + (i % 7), i))
+    # All entries reachable through fresh traversals (separator installed).
+    fresh = index.session(cluster.new_compute_server())
+    got = cluster.execute(fresh.range_scan(target, target + 8))
+    assert len(got) == 151
+    # The owner's inner tree grew (validated down to level 1 only — the
+    # leaves live on other servers).
+    inner = index.inner_tree(0)
+    stats = cluster.execute(inner.validate(min_level=1))
+    assert stats["height"] >= 2
+
+
+def test_cross_partition_scan_with_heads(cluster, dataset):
+    index = build(cluster, dataset)
+    session = index.session(cluster.new_compute_server())
+    got = cluster.execute(session.range_scan(0, dataset.key_space))
+    assert got == dataset.pairs()
+
+
+def test_point_skew_hits_owner_cpu_but_leaves_spread(dataset):
+    """Under data skew, hybrid traversal RPCs concentrate on the hot owner
+    (its CPU is the bottleneck) while leaf READs spread over all servers."""
+    cluster = Cluster(ClusterConfig(num_memory_servers=4, seed=5))
+    index = build(cluster, dataset, partitioner=skewed_partitioner(dataset, 4))
+    session = index.session(cluster.new_compute_server())
+    for i in range(0, 400, 7):
+        cluster.execute(session.lookup(dataset.key_at(i % dataset.num_keys)))
+    rpcs = [server.rpcs_handled for server in cluster.memory_servers]
+    reads = [server.stats.ops[Verb.READ] for server in cluster.memory_servers]
+    assert rpcs[0] > 0.7 * sum(rpcs)  # hot partition owner takes the RPCs
+    assert min(reads) > 0  # leaf reads hit every server

@@ -1,0 +1,38 @@
+"""Tests for the RPC message vocabulary and wire-size accounting."""
+
+from repro.nam.rpc import (
+    RPC_HEADER_BYTES,
+    AckResponse,
+    DeleteRequest,
+    InsertRequest,
+    InstallSeparatorRequest,
+    PairsResponse,
+    PointLookupRequest,
+    PointerResponse,
+    RangeScanRequest,
+    TraverseRequest,
+    ValueResponse,
+)
+
+
+def test_request_wire_sizes():
+    assert PointLookupRequest("i", 1).wire_bytes == RPC_HEADER_BYTES + 8
+    assert RangeScanRequest("i", 1, 2).wire_bytes == RPC_HEADER_BYTES + 16
+    assert InsertRequest("i", 1, 2).wire_bytes == RPC_HEADER_BYTES + 16
+    assert DeleteRequest("i", 1).wire_bytes == RPC_HEADER_BYTES + 8
+    assert TraverseRequest("i", 1).wire_bytes == RPC_HEADER_BYTES + 8
+    assert InstallSeparatorRequest("i", 1, 2, 3).wire_bytes == RPC_HEADER_BYTES + 24
+
+
+def test_response_wire_sizes_scale_with_payload():
+    assert ValueResponse(()).wire_bytes == RPC_HEADER_BYTES
+    assert ValueResponse((1, 2, 3)).wire_bytes == RPC_HEADER_BYTES + 24
+    assert PairsResponse(()).wire_bytes == RPC_HEADER_BYTES
+    assert PairsResponse(((1, 2),) * 10).wire_bytes == RPC_HEADER_BYTES + 160
+    assert AckResponse().wire_bytes == RPC_HEADER_BYTES
+    assert PointerResponse(42).wire_bytes == RPC_HEADER_BYTES + 8
+
+
+def test_messages_are_hashable_values():
+    assert PointLookupRequest("i", 1) == PointLookupRequest("i", 1)
+    assert hash(AckResponse()) == hash(AckResponse())

@@ -1,0 +1,140 @@
+"""Integration tests asserting the paper's qualitative findings.
+
+Each test runs a miniature version of an evaluation-section experiment and
+checks the *shape* the paper reports (who wins, what saturates, what skew
+does) with comfortable margins. These are the contract EXPERIMENTS.md is
+built on.
+"""
+
+import pytest
+
+from repro.experiments.common import run_cell
+from repro.experiments.scale import ExperimentScale
+from repro.workloads import OpType, workload_a, workload_b, workload_d
+
+SCALE = ExperimentScale(
+    num_keys=6_000,
+    clients=(10, 40, 120),
+    selectivities=(0.01,),
+    measure_s=0.0025,
+    warmup_s=0.0008,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+
+class TestFigure7And8PointQueries:
+    def test_uniform_cg_wins_at_low_load(self):
+        cg = run_cell("coarse-grained", workload_a(), 10, SCALE)
+        fg = run_cell("fine-grained", workload_a(), 10, SCALE)
+        assert cg.throughput > fg.throughput
+
+    def test_uniform_hybrid_wins_at_high_load(self):
+        hybrid = run_cell("hybrid", workload_a(), 120, SCALE)
+        cg = run_cell("coarse-grained", workload_a(), 120, SCALE)
+        fg = run_cell("fine-grained", workload_a(), 120, SCALE)
+        assert hybrid.throughput > cg.throughput
+        assert hybrid.throughput > fg.throughput
+
+    def test_skew_caps_cg_but_not_fg(self):
+        fg_uniform = run_cell("fine-grained", workload_a(), 120, SCALE)
+        fg_skew = run_cell("fine-grained", workload_a(), 120, SCALE, skewed=True)
+        cg_uniform = run_cell("coarse-grained", workload_a(), 120, SCALE)
+        cg_skew = run_cell("coarse-grained", workload_a(), 120, SCALE, skewed=True)
+        assert fg_skew.throughput == pytest.approx(
+            fg_uniform.throughput, rel=0.05
+        )  # FG is immune to data skew
+        assert cg_skew.throughput < 0.7 * cg_uniform.throughput
+
+    def test_skewed_fg_beats_skewed_cg_under_high_load(self):
+        fg = run_cell("fine-grained", workload_a(), 120, SCALE, skewed=True)
+        cg = run_cell("coarse-grained", workload_a(), 120, SCALE, skewed=True)
+        assert fg.throughput > cg.throughput
+
+    def test_cg_saturates_between_low_and_high_load(self):
+        low = run_cell("coarse-grained", workload_a(), 40, SCALE)
+        high = run_cell("coarse-grained", workload_a(), 120, SCALE)
+        # Tripling the clients gains little once the server CPUs saturate.
+        assert high.throughput < 1.3 * low.throughput
+
+
+class TestFigure7RangeQueries:
+    def test_skewed_range_queries_fg_beats_cg(self):
+        spec = workload_b(0.01)
+        fg = run_cell("fine-grained", spec, 120, SCALE, skewed=True)
+        cg = run_cell("coarse-grained", spec, 120, SCALE, skewed=True)
+        assert fg.throughput > 1.5 * cg.throughput
+
+    def test_skewed_cg_traffic_concentrates_on_hot_server(self):
+        spec = workload_b(0.01)
+        cg = run_cell("coarse-grained", spec, 40, SCALE, skewed=True)
+        fg = run_cell("fine-grained", spec, 40, SCALE, skewed=True)
+
+        def hot_share(result):
+            totals = [tx + rx for tx, rx in result.network.values()]
+            return max(totals) / sum(totals)
+
+        assert hot_share(cg) > 0.6  # one server carries the range traffic
+        assert hot_share(fg) < 0.45  # leaves spread over all ports
+
+
+class TestFigure9Network:
+    def test_fg_moves_more_bytes_per_point_query(self):
+        fg = run_cell("fine-grained", workload_a(), 40, SCALE)
+        cg = run_cell("coarse-grained", workload_a(), 40, SCALE)
+        fg_bytes_per_op = fg.network_bytes / fg.total_ops
+        cg_bytes_per_op = cg.network_bytes / cg.total_ops
+        assert fg_bytes_per_op > 5 * cg_bytes_per_op
+
+
+class TestFigure11Servers:
+    def test_fg_scales_with_servers_under_skew(self):
+        spec = workload_b(0.01)
+        fg2 = run_cell("fine-grained", spec, 120, SCALE, skewed=True,
+                       num_memory_servers=2)
+        fg8 = run_cell("fine-grained", spec, 120, SCALE, skewed=True,
+                       num_memory_servers=8)
+        cg2 = run_cell("coarse-grained", spec, 120, SCALE, skewed=True,
+                       num_memory_servers=2)
+        cg8 = run_cell("coarse-grained", spec, 120, SCALE, skewed=True,
+                       num_memory_servers=8)
+        assert fg8.throughput > 1.5 * fg2.throughput
+        assert cg8.throughput < 1.2 * cg2.throughput  # skew pins CG
+
+    def test_fg_point_queries_gain_from_servers_under_skew(self):
+        spec = workload_a()
+        fg2 = run_cell("fine-grained", spec, 120, SCALE, skewed=True,
+                       num_memory_servers=2)
+        fg8 = run_cell("fine-grained", spec, 120, SCALE, skewed=True,
+                       num_memory_servers=8)
+        # Sub-linear (the single root page's home port is a hot spot at our
+        # shallow tree heights) but clearly positive scaling.
+        assert fg8.throughput > 1.2 * fg2.throughput
+
+
+class TestFigure12Inserts:
+    def test_hybrid_beats_cg_on_mixed_workloads(self):
+        hybrid = run_cell("hybrid", workload_d(), 120, SCALE)
+        cg = run_cell("coarse-grained", workload_d(), 120, SCALE)
+        assert hybrid.throughput > cg.throughput
+
+    def test_insert_latency_reasonable_for_all_designs(self):
+        for design in ("coarse-grained", "fine-grained", "hybrid"):
+            result = run_cell(design, workload_d(), 40, SCALE)
+            assert result.op_counts.get(OpType.INSERT, 0) > 0
+            assert result.latency_mean(OpType.INSERT) < 1e-3
+
+
+class TestFigure13Latency:
+    def test_cg_has_lowest_point_latency_at_low_load(self):
+        cg = run_cell("coarse-grained", workload_a(), 10, SCALE)
+        fg = run_cell("fine-grained", workload_a(), 10, SCALE)
+        hybrid = run_cell("hybrid", workload_a(), 10, SCALE)
+        cg_latency = cg.latency_mean(OpType.POINT)
+        assert cg_latency < fg.latency_mean(OpType.POINT)
+        assert cg_latency < hybrid.latency_mean(OpType.POINT)
+
+    def test_fg_latency_beats_cg_under_skewed_high_load(self):
+        cg = run_cell("coarse-grained", workload_a(), 120, SCALE, skewed=True)
+        fg = run_cell("fine-grained", workload_a(), 120, SCALE, skewed=True)
+        assert fg.latency_mean(OpType.POINT) < cg.latency_mean(OpType.POINT)

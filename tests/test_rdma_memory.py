@@ -1,0 +1,92 @@
+"""Tests for registered memory regions."""
+
+import pytest
+
+from repro.errors import RemoteAccessError
+from repro.rdma.memory import MemoryRegion
+
+
+def test_read_write_roundtrip():
+    region = MemoryRegion(1024, 4096)
+    region.write(100, b"hello")
+    assert region.read(100, 5) == b"hello"
+
+
+def test_unwritten_memory_reads_zero():
+    region = MemoryRegion(1024, 4096)
+    assert region.read(0, 16) == bytes(16)
+
+
+def test_region_grows_on_demand():
+    region = MemoryRegion(16, 1 << 22)
+    region.write(1 << 21, b"deep")
+    assert region.read(1 << 21, 4) == b"deep"
+    assert len(region) >= (1 << 21) + 4
+
+
+def test_growth_capped_at_max():
+    region = MemoryRegion(16, 1024)
+    with pytest.raises(RemoteAccessError):
+        region.write(2048, b"x")
+
+
+def test_negative_offsets_rejected():
+    region = MemoryRegion(16, 1024)
+    with pytest.raises(RemoteAccessError):
+        region.read(-1, 4)
+    with pytest.raises(RemoteAccessError):
+        region.write(-1, b"x")
+
+
+def test_u64_roundtrip():
+    region = MemoryRegion(64, 1024)
+    region.write_u64(8, 0xDEADBEEF12345678)
+    assert region.read_u64(8) == 0xDEADBEEF12345678
+
+
+def test_u64_wraps_at_64_bits():
+    region = MemoryRegion(64, 1024)
+    region.write_u64(0, (1 << 64) + 5)
+    assert region.read_u64(0) == 5
+
+
+class TestAtomics:
+    def test_cas_success(self):
+        region = MemoryRegion(64, 1024)
+        region.write_u64(0, 10)
+        swapped, old = region.compare_and_swap(0, 10, 20)
+        assert swapped and old == 10
+        assert region.read_u64(0) == 20
+
+    def test_cas_failure_returns_current_value(self):
+        region = MemoryRegion(64, 1024)
+        region.write_u64(0, 10)
+        swapped, old = region.compare_and_swap(0, 11, 20)
+        assert not swapped and old == 10
+        assert region.read_u64(0) == 10
+
+    def test_fetch_and_add_returns_old(self):
+        region = MemoryRegion(64, 1024)
+        region.write_u64(0, 100)
+        assert region.fetch_and_add(0, 5) == 100
+        assert region.read_u64(0) == 105
+
+    def test_fetch_and_add_wraps(self):
+        region = MemoryRegion(64, 1024)
+        region.write_u64(0, (1 << 64) - 1)
+        assert region.fetch_and_add(0, 1) == (1 << 64) - 1
+        assert region.read_u64(0) == 0
+
+    def test_lock_word_protocol(self):
+        """The version/lock discipline used by optimistic lock coupling:
+        CAS sets bit 0, FAA(+1) releases and bumps the version."""
+        region = MemoryRegion(64, 1024)
+        version = region.read_u64(0)
+        assert version % 2 == 0
+        swapped, _ = region.compare_and_swap(0, version, version | 1)
+        assert swapped
+        # Second locker fails while the bit is set.
+        swapped2, observed = region.compare_and_swap(0, version, version | 1)
+        assert not swapped2 and observed == version | 1
+        region.fetch_and_add(0, 1)
+        assert region.read_u64(0) == version + 2

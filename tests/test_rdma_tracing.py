@@ -1,0 +1,106 @@
+"""Tests for verb-level tracing — and, through it, the designs' verb mixes."""
+
+import pytest
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    CoarseGrainedIndex,
+    FineGrainedIndex,
+    HybridIndex,
+)
+from repro.rdma.tracing import VerbTracer
+from repro.rdma.verbs import Verb
+from repro.workloads import generate_dataset
+
+
+@pytest.fixture
+def rigs(dataset):
+    out = {}
+    for cls in (CoarseGrainedIndex, FineGrainedIndex, HybridIndex):
+        cluster = Cluster(ClusterConfig(num_memory_servers=4, seed=17))
+        if cls is FineGrainedIndex:
+            index = cls.build(cluster, "t", dataset.pairs())
+        else:
+            index = cls.build(
+                cluster, "t", dataset.pairs(), key_space=dataset.key_space
+            )
+        session = index.session(cluster.new_compute_server())
+        cluster.execute(session.lookup(0))  # warm root pointer
+        out[cls.design] = (cluster, session)
+    return out
+
+
+def test_tracer_detaches_on_exit(rigs):
+    cluster, session = rigs["fine-grained"]
+    with VerbTracer(cluster) as tracer:
+        cluster.execute(session.lookup(8))
+    recorded = len(tracer.records)
+    assert recorded > 0
+    cluster.execute(session.lookup(16))
+    assert len(tracer.records) == recorded  # nothing recorded after exit
+
+
+def test_cg_lookup_is_exactly_one_send(rigs, dataset):
+    cluster, session = rigs["coarse-grained"]
+    with VerbTracer(cluster) as tracer:
+        cluster.execute(session.lookup(dataset.key_at(100)))
+    assert [record.verb for record in tracer.records] == [Verb.SEND]
+
+
+def test_fg_lookup_is_a_read_chain(rigs, dataset):
+    cluster, session = rigs["fine-grained"]
+    with VerbTracer(cluster) as tracer:
+        cluster.execute(session.lookup(dataset.key_at(100)))
+    verbs = {record.verb for record in tracer.records}
+    assert verbs == {Verb.READ}
+    assert 2 <= len(tracer.records) <= 5  # root..leaf page chain
+    # Reads are strictly sequential: pointer chasing, no overlap.
+    for earlier, later in zip(tracer.records, tracer.records[1:]):
+        assert later.started_at >= earlier.finished_at
+
+
+def test_hybrid_lookup_is_send_plus_read(rigs, dataset):
+    cluster, session = rigs["hybrid"]
+    with VerbTracer(cluster) as tracer:
+        cluster.execute(session.lookup(dataset.key_at(100)))
+    verbs = [record.verb for record in tracer.records]
+    assert verbs == [Verb.SEND, Verb.READ]
+
+
+def test_fg_insert_shows_the_lock_protocol(rigs, dataset):
+    cluster, session = rigs["fine-grained"]
+    with VerbTracer(cluster) as tracer:
+        cluster.execute(session.insert(dataset.key_at(100) + 1, 7))
+    verbs = [record.verb for record in tracer.records]
+    # ... traversal READs, then CAS (lock), WRITE (page), FAA (unlock).
+    assert verbs[-3:] == [Verb.CAS, Verb.WRITE, Verb.FETCH_ADD]
+    assert tracer.count(Verb.READ) >= 2
+
+
+def test_prefetching_scan_overlaps_reads(dataset):
+    cluster = Cluster(ClusterConfig(num_memory_servers=4, seed=17))
+    index = FineGrainedIndex.build(cluster, "t", dataset.pairs(), head_interval=4)
+    session = index.session(cluster.new_compute_server())
+    cluster.execute(session.lookup(0))
+    with VerbTracer(cluster) as tracer:
+        cluster.execute(session.range_scan(0, dataset.key_space // 2))
+    reads = [r for r in tracer.records if r.verb == Verb.READ]
+    overlaps = sum(
+        1
+        for earlier, later in zip(reads, reads[1:])
+        if later.started_at < earlier.finished_at
+    )
+    assert overlaps > 0  # parallel prefetch READs actually overlap
+
+
+def test_trace_metrics_and_format(rigs, dataset):
+    cluster, session = rigs["fine-grained"]
+    with VerbTracer(cluster) as tracer:
+        cluster.execute(session.lookup(dataset.key_at(5)))
+    assert tracer.round_trips == len(tracer.records)
+    assert tracer.total_payload_bytes >= 1024
+    text = tracer.format()
+    assert "read" in text and "bytes" in text
+    tracer.clear()
+    assert tracer.format() == "(no verbs recorded)"

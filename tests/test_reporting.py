@@ -1,0 +1,121 @@
+"""Tests for CSV export and ASCII charts."""
+
+import csv
+import io
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting import ascii_chart, results_to_csv, write_csv
+from repro.workloads.metrics import OpType, RunResult
+
+
+def make_result(design="fine-grained", clients=10, throughput_ops=100):
+    return RunResult(
+        design=design,
+        workload="A",
+        num_clients=clients,
+        window_s=0.01,
+        op_counts={OpType.POINT: throughput_ops},
+        latencies={OpType.POINT: [1e-6, 2e-6]},
+        network={0: (100, 50)},
+        cpu_utilization={0: 0.4},
+    )
+
+
+class TestCsv:
+    def test_rows_carry_keys_and_metrics(self):
+        results = {
+            ("fine-grained", "A", 10): make_result(clients=10),
+            ("hybrid", "A", 40): make_result(design="hybrid", clients=40),
+        }
+        text = results_to_csv(results)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[0]["key_0"] == "fine-grained"
+        assert rows[0]["key_2"] == "10"
+        assert float(rows[0]["throughput_ops_s"]) == 10_000
+        assert float(rows[0]["point_p99_latency_s"]) > 0
+
+    def test_scalar_keys_accepted(self):
+        text = results_to_csv({"only": make_result()})
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["key_0"] == "only"
+
+    def test_missing_latencies_become_empty_cells(self):
+        result = make_result()
+        result.latencies = {}
+        text = results_to_csv({"k": result})
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["point_mean_latency_s"] == ""
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ConfigurationError):
+            results_to_csv({})
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv({"k": make_result()}, str(path))
+        assert path.read_text().startswith("key_0,")
+
+
+class TestAsciiChart:
+    def test_renders_all_series_and_labels(self):
+        chart = ascii_chart(
+            {"cg": [100, 200, 300], "fg": [50, 500, 5000]},
+            x_labels=[10, 40, 120],
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o cg" in chart and "x fg" in chart
+        assert "10" in chart and "120" in chart
+        assert chart.count("o") >= 3  # one mark per point (plus legend)
+
+    def test_log_scale_spans_extremes(self):
+        chart = ascii_chart({"s": [1, 1_000_000]}, x_labels=["a", "b"])
+        assert "1e+06" in chart or "1.0e+06" in chart or "1e+6" in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"s": [1, 2]}, x_labels=["a"])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"s": [0, 0]}, x_labels=["a", "b"])
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.__main__ import main
+
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "fig07" in out and "srq" in out
+
+    def test_unknown_experiment_exits(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "nope"])
+
+    def test_run_analytical(self, capsys):
+        from repro.__main__ import main
+
+        main(["run", "fig03"])
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_run_with_csv_export(self, tmp_path, capsys, monkeypatch):
+        from repro.__main__ import main
+        import repro.experiments.a4_caching as a4
+        from repro.experiments.scale import ExperimentScale
+
+        tiny = ExperimentScale(num_keys=800, clients=(4,), measure_s=0.001,
+                               warmup_s=0.0005)
+        original = a4.run
+        monkeypatch.setattr(
+            a4, "run", lambda scale=None, **kw: original(scale=tiny, num_clients=4)
+        )
+        csv_path = tmp_path / "cells.csv"
+        main(["run", "a4", "--small", "--csv", str(csv_path)])
+        assert csv_path.exists()
+        assert "wrote" in capsys.readouterr().out

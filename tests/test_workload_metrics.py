@@ -1,0 +1,58 @@
+"""Tests for run-result metrics."""
+
+import math
+
+from repro.workloads.metrics import OpType, RunResult
+
+
+def make_result(**overrides):
+    base = dict(
+        design="fine-grained",
+        workload="A",
+        num_clients=10,
+        window_s=0.01,
+        op_counts={OpType.POINT: 100, OpType.RANGE: 20},
+        latencies={
+            OpType.POINT: [1e-6, 2e-6, 3e-6],
+            OpType.RANGE: [1e-3],
+        },
+        network={0: (1000, 500), 1: (2000, 1500)},
+        cpu_utilization={0: 0.5, 1: 0.25},
+    )
+    base.update(overrides)
+    return RunResult(**base)
+
+
+def test_throughput_over_window():
+    result = make_result()
+    assert result.total_ops == 120
+    assert result.throughput == 12_000
+    assert result.throughput_of(OpType.POINT) == 10_000
+    assert result.throughput_of(OpType.INSERT) == 0
+
+
+def test_zero_window_is_safe():
+    result = make_result(window_s=0.0)
+    assert result.throughput == 0.0
+    assert result.network_gb_per_s == 0.0
+
+
+def test_network_aggregation():
+    result = make_result()
+    assert result.network_bytes == 5000
+    assert result.network_gb_per_s == 5000 / 0.01 / 1e9
+
+
+def test_latency_statistics():
+    result = make_result()
+    assert result.latency_mean(OpType.POINT) == 2e-6
+    assert result.latency_percentile(OpType.POINT, 50) == 2e-6
+    assert math.isnan(result.latency_mean(OpType.INSERT))
+    assert math.isnan(result.latency_percentile(OpType.DELETE, 99))
+
+
+def test_summary_renders():
+    text = make_result().summary()
+    assert "fine-grained" in text
+    assert "ops/s" in text
+    assert "GB/s" in text
