@@ -21,8 +21,14 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every reproduced table and figure.
 """
 
-from repro.config import ClusterConfig, CpuConfig, NetworkConfig, TreeConfig
-from repro.errors import ReproError
+from repro.config import (
+    ClusterConfig,
+    CpuConfig,
+    NetworkConfig,
+    RetryConfig,
+    TreeConfig,
+)
+from repro.errors import ReproError, RetriesExhaustedError, TimeoutError_
 from repro.index import (
     CoarseGrainedIndex,
     DistributedIndex,
@@ -35,6 +41,7 @@ from repro.index import (
     cached_session,
 )
 from repro.nam import Cluster, ComputeServer, MemoryServer
+from repro.rdma.faults import ComputeCrash, FaultInjector, FaultPlan, ServerCrash
 from repro.rdma.tracing import VerbTracer
 from repro.reporting import ascii_chart, results_to_csv, write_csv
 
@@ -44,8 +51,15 @@ __all__ = [
     "ClusterConfig",
     "CpuConfig",
     "NetworkConfig",
+    "RetryConfig",
     "TreeConfig",
     "ReproError",
+    "RetriesExhaustedError",
+    "TimeoutError_",
+    "ComputeCrash",
+    "FaultInjector",
+    "FaultPlan",
+    "ServerCrash",
     "CoarseGrainedIndex",
     "DistributedIndex",
     "EpochGarbageCollector",

@@ -18,6 +18,14 @@ the paper's listings: versions are even when unlocked, ``try_lock`` is a CAS
 setting bit 0, and both unlock variants are a FETCH_AND_ADD of 1 (restoring
 an even, incremented version).
 
+Crash recovery: an accessor may additionally support *lock leases* — a
+client that observes the same locked version word for at least
+``lock_lease_s()`` seconds may conclude the holder crashed and
+``try_steal_lock`` it (a CAS back to an unlocked, version-advanced word).
+The base implementations disable leases, so the algorithm layer pays
+nothing unless an accessor opts in (remote accessors do, while a fault
+injector is attached).
+
 A :class:`RootRef` abstracts where an index's root pointer lives and how it
 is atomically swung on a root split.
 """
@@ -25,7 +33,7 @@ is atomically swung on a root split.
 from __future__ import annotations
 
 import abc
-from typing import Any, Generator
+from typing import Any, Generator, Optional
 
 from repro.btree.node import Node
 
@@ -77,6 +85,33 @@ class NodeAccessor(abc.ABC):
     @abc.abstractmethod
     def spin_pause(self) -> Generator[Any, Any, None]:
         """Back off briefly before re-reading a locked node (spinlock)."""
+
+    # -- lock-lease recovery (optional) ----------------------------------------
+
+    def now(self) -> float:
+        """Current virtual time, used to age observed lock words. Only
+        meaningful when :meth:`lock_lease_s` returns a lease."""
+        return 0.0
+
+    def lock_lease_s(self) -> Optional[float]:
+        """Lease after which an *unchanged* locked word may be stolen.
+
+        None (the default) disables recovery: spinners wait forever, as in
+        the paper's crash-free model."""
+        return None
+
+    def try_steal_lock(
+        self, raw_ptr: int, observed_word: int
+    ) -> Generator[Any, Any, bool]:
+        """CAS the lock word from *observed_word* (a locked value that has
+        outlived its lease) to an unlocked, version-advanced value.
+
+        Returns True if this client performed the steal. The page content
+        is consistent whichever instant the holder died at: either the
+        pre-lock image, or a fully written page whose split (if any) is
+        reachable through the B-link sibling pointer."""
+        return False
+        yield  # pragma: no cover - unreachable; makes this a generator
 
     def read_nodes(self, raw_ptrs) -> Generator[Any, Any, list]:
         """Fetch several pages; the base implementation is serial.

@@ -70,12 +70,35 @@ class BLinkTree:
 
     def _read_unlocked(self, raw_ptr: int) -> Generator[Any, Any, Node]:
         """Fetch the page at *raw_ptr*, spinning while its lock bit is set
-        (the paper's ``readLockOrRestart`` / ``remote_awaitNodeUnlocked``)."""
+        (the paper's ``readLockOrRestart`` / ``remote_awaitNodeUnlocked``).
+
+        If the accessor grants a lock lease, a locked word that stays
+        *unchanged* for the whole lease is presumed abandoned (its holder
+        crashed between lock and unlock) and is CAS-stolen, so one dead
+        client cannot wedge the subtree. Any change to the word — a page
+        write inside the critical section, an unlock, someone else's
+        steal — re-arms the timer.
+        """
+        node = yield from self.acc.read_node(raw_ptr)
+        if not node.is_locked:
+            return node
+        observed_word = node.version
+        observed_since = self.acc.now()
         while True:
+            yield from self.acc.spin_pause()
             node = yield from self.acc.read_node(raw_ptr)
             if not node.is_locked:
                 return node
-            yield from self.acc.spin_pause()
+            if node.version != observed_word:
+                observed_word = node.version
+                observed_since = self.acc.now()
+                continue
+            lease = self.acc.lock_lease_s()
+            if lease is not None and self.acc.now() - observed_since >= lease:
+                yield from self.acc.try_steal_lock(raw_ptr, observed_word)
+                # Whether we won the steal or raced another client, start
+                # observing afresh.
+                observed_since = self.acc.now()
 
     def _descend_from(
         self, raw_ptr: int, node: Node, key: int, level: int

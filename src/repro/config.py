@@ -15,7 +15,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError
 
-__all__ = ["NetworkConfig", "CpuConfig", "TreeConfig", "ClusterConfig"]
+__all__ = ["NetworkConfig", "CpuConfig", "TreeConfig", "RetryConfig", "ClusterConfig"]
 
 
 @dataclass(frozen=True)
@@ -110,6 +110,53 @@ class TreeConfig:
 
 
 @dataclass(frozen=True)
+class RetryConfig:
+    """Retry/timeout policy for verbs and RPCs under fault injection.
+
+    This policy is consulted only while a
+    :class:`~repro.rdma.faults.FaultInjector` is attached to the cluster;
+    without one, messages are never lost and the happy path pays nothing.
+    A lost message is detected after ``timeout_s`` and retried up to
+    ``max_attempts`` times with exponential backoff
+    (``base_delay_s * backoff_multiplier**attempt``) and deterministic
+    jitter (``+/- jitter_fraction``, drawn from the injector's seeded RNG).
+    When the budget is spent the operation raises
+    :class:`~repro.errors.RetriesExhaustedError`.
+
+    ``lock_lease_s`` is the remote-spinlock lease: a client that observes
+    the *same* locked version word for at least this long may CAS-steal the
+    lock (the holder is presumed crashed). It must comfortably exceed the
+    worst-case critical section, including the retry budget of the verbs
+    inside it — roughly ``3 * max_attempts * (timeout_s + base_delay_s *
+    backoff_multiplier**max_attempts)`` — or a slow-but-alive holder could
+    be robbed mid-write (the same lease >> critical-section assumption FaRM
+    makes).
+    """
+
+    max_attempts: int = 4
+    #: Client-side loss-detection timeout per attempt.
+    timeout_s: float = 50e-6
+    base_delay_s: float = 20e-6
+    backoff_multiplier: float = 2.0
+    jitter_fraction: float = 0.25
+    lock_lease_s: float = 5e-3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be > 0")
+        if self.base_delay_s < 0:
+            raise ConfigurationError("base_delay_s must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff_multiplier must be >= 1.0")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ConfigurationError("jitter_fraction must be in [0, 1)")
+        if self.lock_lease_s <= 0:
+            raise ConfigurationError("lock_lease_s must be > 0")
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Topology of the simulated NAM cluster.
 
@@ -133,6 +180,7 @@ class ClusterConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     cpu: CpuConfig = field(default_factory=CpuConfig)
     tree: TreeConfig = field(default_factory=TreeConfig)
+    retry: RetryConfig = field(default_factory=RetryConfig)
 
     def __post_init__(self) -> None:
         if self.num_memory_servers < 1:

@@ -21,6 +21,21 @@ class RemoteAccessError(NetworkError):
     """A one-sided verb referenced memory outside a registered region."""
 
 
+class TimeoutError_(NetworkError):
+    """A remote operation did not complete within its timeout budget (named
+    with a trailing underscore to avoid shadowing the builtin
+    :class:`TimeoutError`)."""
+
+
+class RetriesExhaustedError(TimeoutError_):
+    """Every retry attempt of a verb or RPC timed out.
+
+    The outcome of the operation is *unknown*: a mutating verb whose
+    response was lost may have been applied remotely. Callers that need
+    certainty must re-read or design their mutations to be idempotent.
+    """
+
+
 class AllocationError(ReproError):
     """A memory server ran out of registered memory."""
 

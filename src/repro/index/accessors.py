@@ -17,6 +17,22 @@ Root references follow the same split: :class:`LocalRootRef` reads/CASes a
 root word in the server's own region; :class:`RemoteRootRef` caches the
 root pointer on the compute server (stale roots are harmless in B-link
 trees) and refreshes/swings it with one-sided READ/CAS.
+
+Lock leases (crash recovery): a remote spinlock held by a crashed client
+would wedge its subtree forever, so :class:`RemoteAccessor` extends the
+paper's lock word. While locked, bits 48-63 carry the locker's *owner
+tag* (an epoch identifying the locking session) next to the version bits;
+the tag vanishes as soon as the critical section writes the page back, and
+both unlock variants restore a clean, even, incremented version — so the
+extension is invisible to the crash-free protocol. Recovery is time-based,
+FaRM-style: a spinner that has watched the *same* locked word for
+``RetryConfig.lock_lease_s`` (far longer than any live critical section,
+including its worst-case retry budget) CAS-steals the word back to
+unlocked. The B-link structure makes every crash instant safe: a holder
+dies either before writing (steal exposes the old page), after writing its
+split sibling (reachable via the sibling pointer), or after the page write
+(steal exposes the new page). Leases are active only while a
+:class:`~repro.rdma.faults.FaultInjector` is attached to the fabric.
 """
 
 from __future__ import annotations
@@ -33,6 +49,13 @@ from repro.nam.compute_server import ComputeServer
 from repro.nam.memory_server import MemoryServer
 
 __all__ = ["LocalAccessor", "RemoteAccessor", "LocalRootRef", "RemoteRootRef"]
+
+#: While a node is write-locked, bits 48-63 of its version word carry the
+#: locker's owner tag; bits 0-47 keep the version counter and lock bit.
+#: Unlock paths always restore a tag-free word, so unlocked words are plain
+#: even versions exactly as in the paper.
+_LOCK_TAG_SHIFT = 48
+_LOCK_VERSION_MASK = (1 << _LOCK_TAG_SHIFT) - 1
 
 
 class LocalAccessor(NodeAccessor):
@@ -93,6 +116,9 @@ class LocalAccessor(NodeAccessor):
         # The worker burns its core while spinning — deliberately.
         yield self.server.cpu(self._spin_slice)
 
+    def now(self) -> float:
+        return self.server.sim.now
+
 
 class RemoteAccessor(NodeAccessor):
     """Node access from a compute server through one-sided verbs."""
@@ -112,6 +138,14 @@ class RemoteAccessor(NodeAccessor):
         # on the partition owner).
         self._alloc_counter = compute_server.server_id
         self._alloc_pinned = alloc_server_id
+        # Owner tag stamped into locked words (see module docstring). Tag 0
+        # is reserved for taggless lockers (local accessors), so shift ids
+        # by one. The tag is always applied — it is behaviorally invisible
+        # without faults — which keeps the happy path bit-for-bit identical
+        # whether or not an injector is attached.
+        self._owner_tag_word = ((compute_server.server_id + 1) & 0xFFFF) << _LOCK_TAG_SHIFT
+        #: Lock steals performed by this accessor (lease recovery).
+        self.lock_steals = 0
 
     def read_node(self, raw_ptr: int) -> Generator[Any, Any, Node]:
         pointer = RemotePointer.from_raw(raw_ptr)
@@ -135,11 +169,14 @@ class RemoteAccessor(NodeAccessor):
         pointer = RemotePointer.from_raw(raw_ptr)
         qp = self.compute_server.qp(pointer.server_id)
         swapped, _old = yield from qp.compare_and_swap(
-            pointer.offset, version, version | 1
+            pointer.offset, version, version | 1 | self._owner_tag_word
         )
         return swapped
 
     def unlock_write(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
+        # The page image is written with a tag-free locked version, so the
+        # subsequent FAA(+1) both clears our owner tag (the word was just
+        # overwritten) and releases the lock.
         pointer = RemotePointer.from_raw(raw_ptr)
         qp = self.compute_server.qp(pointer.server_id)
         node.version |= 1
@@ -147,9 +184,11 @@ class RemoteAccessor(NodeAccessor):
         yield from qp.fetch_and_add(pointer.offset, 1)
 
     def unlock_nochange(self, raw_ptr: int) -> Generator[Any, Any, None]:
+        # Single FAA that increments the version *and* subtracts our owner
+        # tag (mod 2**64), restoring a clean even word in one atomic.
         pointer = RemotePointer.from_raw(raw_ptr)
         qp = self.compute_server.qp(pointer.server_id)
-        yield from qp.fetch_and_add(pointer.offset, 1)
+        yield from qp.fetch_and_add(pointer.offset, 1 - self._owner_tag_word)
 
     def alloc(self, level: int) -> Generator[Any, Any, int]:
         if self._alloc_pinned is not None:
@@ -164,6 +203,38 @@ class RemoteAccessor(NodeAccessor):
     def spin_pause(self) -> Generator[Any, Any, None]:
         # Remote spinlock: back off, then the caller re-READs the node.
         yield self.compute_server.sim.timeout(self._spin_slice)
+
+    # -- lock-lease recovery ----------------------------------------------------
+
+    def now(self) -> float:
+        return self.compute_server.sim.now
+
+    def lock_lease_s(self):
+        injector = self.compute_server.fabric.injector
+        if injector is None:
+            return None
+        return injector.lock_lease_s
+
+    def try_steal_lock(
+        self, raw_ptr: int, observed_word: int
+    ) -> Generator[Any, Any, bool]:
+        # The observed word has been locked and unchanged for a full lease:
+        # presume its holder crashed. CAS it straight to an unlocked word
+        # with the version advanced past the dead holder's locked version
+        # (clear the owner tag and lock bit, then +2), so optimistic readers
+        # that captured the pre-crash version correctly restart.
+        pointer = RemotePointer.from_raw(raw_ptr)
+        qp = self.compute_server.qp(pointer.server_id)
+        stolen_word = ((observed_word & _LOCK_VERSION_MASK) & ~1) + 2
+        swapped, _old = yield from qp.compare_and_swap(
+            pointer.offset, observed_word, stolen_word
+        )
+        if swapped:
+            self.lock_steals += 1
+            injector = self.compute_server.fabric.injector
+            if injector is not None:
+                injector.record_steal()
+        return swapped
 
 
 class LocalRootRef(RootRef):

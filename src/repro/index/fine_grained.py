@@ -10,6 +10,15 @@ FETCH_AND_ADD on the allocation word for remote page allocation.
 The leaf level carries *head nodes* (Section 4.3): per group of
 ``head_node_interval`` leaves, an extra page listing the group's leaf
 pointers that range scans use to prefetch leaves in parallel.
+
+Because the fine-grained design is the only one whose *locks* are held by
+compute servers, it is the design exposed to client crashes: a compute
+server that dies inside a critical section leaves the lock bit set
+forever. Sessions therefore go through :class:`RemoteAccessor`, whose
+lease-stamped lock words let surviving clients steal locks from crashed
+holders once ``RetryConfig.lock_lease_s`` elapses (see
+:mod:`repro.index.accessors`); recovery activates only while a
+:class:`~repro.rdma.faults.FaultInjector` is attached to the cluster.
 """
 
 from __future__ import annotations

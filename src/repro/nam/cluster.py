@@ -87,6 +87,38 @@ class Cluster:
                 )
             )
         self.compute_servers: List[ComputeServer] = []
+        #: Set by :meth:`attach_faults`; None means a perfectly reliable fabric.
+        self.fault_injector = None
+
+    # -- fault injection --------------------------------------------------------
+
+    def attach_faults(self, plan) -> "FaultInjector":
+        """Attach a :class:`~repro.rdma.faults.FaultPlan` to this cluster.
+
+        Creates a :class:`~repro.rdma.faults.FaultInjector` (driven by
+        ``config.retry``), wires it into the fabric and every memory
+        server, and arms the plan's scheduled crashes. Attaching any
+        injector — even for a no-op plan — also enables lock-lease
+        recovery on remote accessors. Returns the injector.
+        """
+        from repro.rdma.faults import FaultInjector
+
+        if self.fault_injector is not None:
+            raise ConfigurationError("a fault injector is already attached")
+        injector = FaultInjector(self.sim, plan, self.config.retry)
+        self.fabric.attach_injector(injector)
+        for server in self.memory_servers:
+            server.injector = injector
+        self.fault_injector = injector
+        injector.start(self)
+        return injector
+
+    def detach_faults(self) -> None:
+        """Remove the injector entirely (also disables lock leases)."""
+        self.fabric.detach_injector()
+        for server in self.memory_servers:
+            server.injector = None
+        self.fault_injector = None
 
     # -- topology -------------------------------------------------------------
 

@@ -38,6 +38,9 @@ class ComputeServer:
         self.server_id = server_id
         self.machine = machine
         self.port = port
+        #: Kept so accessors can reach the fabric's fault injector (lock
+        #: leases are enabled only while one is attached).
+        self.fabric = fabric
         self._qps: Dict[int, QueuePair] = {}
         for server in memory_servers:
             local = colocated and server.machine is machine

@@ -55,6 +55,9 @@ class MemoryServer:
         #: Memory accesses from the second socket cross QPI (Section 6.1).
         self.qpi_factor = config.cpu.qpi_penalty if crosses_qpi else 1.0
         self._handlers: Dict[Type, Handler] = {}
+        #: Set by :meth:`Cluster.attach_faults`; while present, the worker
+        #: loop honors crash windows and at-most-once RPC semantics.
+        self.injector = None
         #: Index-design state keyed by (design, index name) — e.g. the
         #: server-local B-link trees the RPC handlers operate on.
         self.app: Dict[Any, Any] = {}
@@ -96,6 +99,26 @@ class MemoryServer:
         cpu_config = self.config.cpu
         while True:
             envelope: RpcEnvelope = yield self.srq.get()
+            injector = self.injector
+            if injector is not None:
+                if injector.server_down(self.server_id) or (
+                    envelope.epoch != injector.crash_epoch(self.server_id)
+                ):
+                    # The server is down, or this request was queued before
+                    # a crash that wiped the SRQ: it is simply lost.
+                    continue
+                cached = envelope.qp.rpc_cached(envelope.seq)
+                if cached is not None:
+                    # A retransmit of a request we already executed: replay
+                    # the remembered response, never re-run the handler.
+                    yield self.cpu(cpu_config.rpc_fixed_cost_s)
+                    injector.stats["rpc_replays"] += 1
+                    envelope.complete(*cached)
+                    continue
+                if not envelope.qp.rpc_begin(envelope.seq):
+                    # A duplicate of a request another worker is handling
+                    # right now; the original will answer.
+                    continue
             started = self.sim.now
             fixed_cost = cpu_config.rpc_fixed_cost_s
             if not cpu_config.use_srq:
@@ -112,6 +135,8 @@ class MemoryServer:
                 )
             response, wire_bytes = yield from handler(self, envelope.payload)
             yield self.cpu_bytes(wire_bytes)
+            if injector is not None:
+                envelope.qp.rpc_finish(envelope.seq, response, wire_bytes)
             envelope.complete(response, wire_bytes)
             self.rpcs_handled += 1
             self._busy_time += self.sim.now - started

@@ -1,18 +1,23 @@
 """Simulated RDMA substrate: registered memory, NICs, fabric, queue pairs."""
 
 from repro.rdma.fabric import Fabric
+from repro.rdma.faults import ComputeCrash, FaultInjector, FaultPlan, ServerCrash
 from repro.rdma.memory import MemoryRegion
 from repro.rdma.nic import Nic, NicPort
 from repro.rdma.qp import QueuePair, RpcEnvelope
 from repro.rdma.verbs import Verb, VerbStats
 
 __all__ = [
+    "ComputeCrash",
     "Fabric",
+    "FaultInjector",
+    "FaultPlan",
     "MemoryRegion",
     "Nic",
     "NicPort",
     "QueuePair",
     "RpcEnvelope",
+    "ServerCrash",
     "Verb",
     "VerbStats",
 ]

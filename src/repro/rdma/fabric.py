@@ -28,6 +28,18 @@ class Fabric:
         #: Optional :class:`repro.rdma.tracing.VerbTracer` capturing the
         #: wire anatomy of operations (None during measurement runs).
         self.tracer = None
+        #: Optional :class:`repro.rdma.faults.FaultInjector`. While None
+        #: (the default) queue pairs take the exact fault-free fast path;
+        #: attaching one enables message faults, crash windows, retries and
+        #: lock-lease recovery cluster-wide.
+        self.injector = None
+
+    def attach_injector(self, injector) -> None:
+        """Install a fault injector on every queue pair using this fabric."""
+        self.injector = injector
+
+    def detach_injector(self) -> None:
+        self.injector = None
 
     def transmit(
         self,

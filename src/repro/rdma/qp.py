@@ -14,18 +14,37 @@ simulation processes:
 When the cluster is co-located (Appendix A.3) and the remote server lives on
 the same physical machine, one-sided verbs take the local-memory fast path
 and bypass the NIC entirely.
+
+Fault handling: while a :class:`~repro.rdma.faults.FaultInjector` is
+attached to the fabric, every non-local verb runs an attempt loop governed
+by :class:`~repro.config.RetryConfig` — a lost request or response is
+detected after ``timeout_s``, retried with exponential backoff and
+deterministic jitter, and surfaces
+:class:`~repro.errors.RetriesExhaustedError` once the budget is spent. The
+modeled transport behaves like InfiniBand RC with responder-side duplicate
+detection: a verb's memory effect is applied *at most once* per logical
+operation (retries replay the first outcome, mirroring the NIC's atomic
+response cache / PSN dedup), and two-sided requests carry sequence numbers
+the server uses to replay — never re-execute — duplicated handlers. With no
+injector attached, none of this code runs and behavior is identical to a
+fault-free build.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, Tuple
+from typing import Any, Callable, Dict, Generator, Tuple
 
+from repro.errors import RetriesExhaustedError
 from repro.rdma.fabric import Fabric
 from repro.rdma.nic import NicPort
 from repro.rdma.verbs import Verb
 from repro.sim import Event, Simulator
 
 __all__ = ["QueuePair", "RpcEnvelope"]
+
+_UNSET = object()
+#: Replayed-response cache entries kept per QP (at-most-once RPC dedup).
+_RPC_CACHE_LIMIT = 128
 
 
 class RpcEnvelope:
@@ -35,15 +54,27 @@ class RpcEnvelope:
     finishes with :meth:`complete`, which ships the response back to the
     client asynchronously (the NIC does the transfer; the worker is free
     again immediately — mirroring how a real RPC thread posts a SEND and
-    moves on).
+    moves on). Under fault injection an envelope additionally carries the
+    logical call's sequence number (for duplicate suppression) and the
+    destination's crash epoch at enqueue time (requests queued before a
+    crash are lost with it).
     """
 
-    __slots__ = ("qp", "payload", "_reply")
+    __slots__ = ("qp", "payload", "_reply", "seq", "epoch")
 
-    def __init__(self, qp: "QueuePair", payload: Any, reply: Event) -> None:
+    def __init__(
+        self,
+        qp: "QueuePair",
+        payload: Any,
+        reply: Event,
+        seq: int = 0,
+        epoch: int = 0,
+    ) -> None:
         self.qp = qp
         self.payload = payload
         self._reply = reply
+        self.seq = seq
+        self.epoch = epoch
 
     def complete(self, response: Any, response_wire_bytes: int) -> None:
         """Send *response* back to the caller (non-blocking for the worker)."""
@@ -66,6 +97,10 @@ class QueuePair:
         self.local_port = local_port
         self.remote = remote_server
         self.is_local = use_local_fast_path
+        # At-most-once RPC state (only touched under fault injection).
+        self._next_seq = 0
+        self._rpc_inflight: set = set()
+        self._rpc_cache: Dict[int, Tuple[Any, int]] = {}
 
     # -- internals -----------------------------------------------------------
 
@@ -93,8 +128,75 @@ class QueuePair:
                 local=self.is_local,
             )
 
+    def _faulty_onesided(
+        self,
+        verb: Verb,
+        payload_bytes: int,
+        request_bytes: int,
+        response_bytes: int,
+        effect: Callable[[], Any],
+        atomic: bool = False,
+    ) -> Generator[Any, Any, Any]:
+        """Attempt loop for a non-local one-sided verb under fault injection.
+
+        *effect* applies the verb against the remote region; it runs when
+        the first request is delivered and never again (RC duplicate
+        suppression), so retries only re-learn the cached outcome.
+        """
+        injector = self.fabric.injector
+        retry = injector.retry
+        config = self.fabric.config
+        server_id = self.remote.server_id
+        started_at = self.sim.now
+        result: Any = _UNSET
+        last_attempt = retry.max_attempts - 1
+        for attempt in range(retry.max_attempts):
+            self.remote.stats.record(verb, payload_bytes)
+            yield from self._request_leg(request_bytes)
+            if injector.should_duplicate(verb, server_id):
+                # The NIC discards the duplicate; it only burns RX bandwidth.
+                self.remote.port.rx.reserve(
+                    request_bytes + config.header_wire_bytes
+                )
+            delivered = not injector.server_down(server_id) and not (
+                injector.should_drop(verb, server_id)
+            )
+            if delivered:
+                if result is _UNSET:
+                    result = effect()
+                if atomic:
+                    yield self.sim.timeout(config.atomic_extra_latency_s)
+                delay = injector.extra_delay(verb, server_id)
+                if delay > 0.0:
+                    yield self.sim.timeout(delay)
+                yield from self._response_leg(response_bytes)
+                if not injector.server_down(server_id) and not (
+                    injector.should_drop(verb, server_id)
+                ):
+                    self._trace(verb, payload_bytes, started_at)
+                    return result
+            # The request or response was lost: wait out the detection
+            # timeout, then back off before the next attempt.
+            yield self.sim.timeout(retry.timeout_s)
+            if attempt < last_attempt:
+                yield self.sim.timeout(injector.backoff_delay(attempt))
+        raise RetriesExhaustedError(
+            f"{verb.value} to memory server {server_id} gave up after "
+            f"{retry.max_attempts} attempts"
+        )
+
     def read(self, offset: int, length: int) -> Generator[Any, Any, bytes]:
         """RDMA READ *length* bytes at *offset* of the remote region."""
+        if self.fabric.injector is not None and not self.is_local:
+            return (
+                yield from self._faulty_onesided(
+                    Verb.READ,
+                    length,
+                    self.fabric.config.request_wire_bytes,
+                    length,
+                    lambda: self.remote.region.read(offset, length),
+                )
+            )
         started_at = self.sim.now
         self.remote.stats.record(Verb.READ, length)
         if self.is_local:
@@ -107,6 +209,16 @@ class QueuePair:
 
     def write(self, offset: int, data: bytes) -> Generator[Any, Any, None]:
         """RDMA WRITE *data* at *offset* of the remote region."""
+        if self.fabric.injector is not None and not self.is_local:
+            return (
+                yield from self._faulty_onesided(
+                    Verb.WRITE,
+                    len(data),
+                    self.fabric.config.request_wire_bytes + len(data),
+                    0,
+                    lambda: self.remote.region.write(offset, data),
+                )
+            )
         started_at = self.sim.now
         self.remote.stats.record(Verb.WRITE, len(data))
         if self.is_local:
@@ -132,6 +244,19 @@ class QueuePair:
         self, offset: int, expected: int, new: int
     ) -> Generator[Any, Any, Tuple[bool, int]]:
         """RDMA CAS on the 8-byte word at *offset*; returns ``(swapped, old)``."""
+        if self.fabric.injector is not None and not self.is_local:
+            return (
+                yield from self._faulty_onesided(
+                    Verb.CAS,
+                    8,
+                    self.fabric.config.request_wire_bytes + 16,
+                    8,
+                    lambda: self.remote.region.compare_and_swap(
+                        offset, expected, new
+                    ),
+                    atomic=True,
+                )
+            )
         started_at = self.sim.now
         self.remote.stats.record(Verb.CAS, 8)
         yield from self._atomic_legs()
@@ -140,6 +265,17 @@ class QueuePair:
 
     def fetch_and_add(self, offset: int, delta: int) -> Generator[Any, Any, int]:
         """RDMA FETCH_AND_ADD on the 8-byte word at *offset*; returns old value."""
+        if self.fabric.injector is not None and not self.is_local:
+            return (
+                yield from self._faulty_onesided(
+                    Verb.FETCH_ADD,
+                    8,
+                    self.fabric.config.request_wire_bytes + 16,
+                    8,
+                    lambda: self.remote.region.fetch_and_add(offset, delta),
+                    atomic=True,
+                )
+            )
         started_at = self.sim.now
         self.remote.stats.record(Verb.FETCH_ADD, 8)
         yield from self._atomic_legs()
@@ -169,6 +305,9 @@ class QueuePair:
         handled by one of its RPC workers; the response value of that
         handler is returned here.
         """
+        injector = self.fabric.injector
+        if injector is not None and not self.is_local:
+            return (yield from self._faulty_call(request, request_wire_bytes, injector))
         started_at = self.sim.now
         self.remote.stats.record(Verb.SEND, request_wire_bytes)
         reply = self.sim.event()
@@ -181,12 +320,92 @@ class QueuePair:
         self._trace(Verb.SEND, request_wire_bytes, started_at)
         return response
 
+    def _faulty_call(
+        self, request: Any, request_wire_bytes: int, injector
+    ) -> Generator[Any, Any, Any]:
+        """RPC attempt loop: at-least-once SENDs, exactly-once handling.
+
+        One *reply* event spans all attempts, so a response that is merely
+        slow (queueing on a loaded worker pool) still completes the call
+        even if a retry is already in flight; the retry is then suppressed
+        server-side via the sequence number.
+        """
+        retry = injector.retry
+        server_id = self.remote.server_id
+        started_at = self.sim.now
+        reply = self.sim.event()
+        seq = self._next_seq
+        self._next_seq += 1
+        last_attempt = retry.max_attempts - 1
+        for attempt in range(retry.max_attempts):
+            self.remote.stats.record(Verb.SEND, request_wire_bytes)
+            yield from self._request_leg(request_wire_bytes)
+            if not injector.server_down(server_id) and not (
+                injector.should_drop(Verb.SEND, server_id)
+            ):
+                delay = injector.extra_delay(Verb.SEND, server_id)
+                if delay > 0.0:
+                    yield self.sim.timeout(delay)
+                epoch = injector.crash_epoch(server_id)
+                self.remote.srq.put(
+                    RpcEnvelope(self, request, reply, seq=seq, epoch=epoch)
+                )
+                if injector.should_duplicate(Verb.SEND, server_id):
+                    self.remote.srq.put(
+                        RpcEnvelope(self, request, reply, seq=seq, epoch=epoch)
+                    )
+            yield self.sim.any_of([reply, self.sim.timeout(retry.timeout_s)])
+            if not reply.triggered and attempt < last_attempt:
+                yield self.sim.timeout(injector.backoff_delay(attempt))
+            if reply.triggered:
+                self._rpc_cache.pop(seq, None)
+                self._trace(Verb.SEND, request_wire_bytes, started_at)
+                return reply.value
+        self._rpc_cache.pop(seq, None)
+        self._rpc_inflight.discard(seq)
+        raise RetriesExhaustedError(
+            f"rpc to memory server {server_id} gave up after "
+            f"{retry.max_attempts} attempts"
+        )
+
+    # -- server-side dedup bookkeeping (used by MemoryServer workers) ---------
+
+    def rpc_begin(self, seq: int) -> bool:
+        """True if the worker should execute this envelope's handler;
+        False if an identical request is already being handled."""
+        if seq in self._rpc_inflight:
+            return False
+        self._rpc_inflight.add(seq)
+        return True
+
+    def rpc_finish(self, seq: int, response: Any, wire_bytes: int) -> None:
+        """Remember the handler outcome so retransmits replay, not re-run."""
+        self._rpc_inflight.discard(seq)
+        self._rpc_cache[seq] = (response, wire_bytes)
+        while len(self._rpc_cache) > _RPC_CACHE_LIMIT:
+            self._rpc_cache.pop(next(iter(self._rpc_cache)))
+
+    def rpc_cached(self, seq: int):
+        """The cached ``(response, wire_bytes)`` for *seq*, or None."""
+        return self._rpc_cache.get(seq)
+
     def _spawn_reply(self, reply: Event, response: Any, wire_bytes: int) -> None:
         def ship() -> Generator[Any, Any, None]:
             if self.is_local:
                 yield from self.fabric.local_copy(wire_bytes)
             else:
+                injector = self.fabric.injector
+                if injector is not None:
+                    server_id = self.remote.server_id
+                    if injector.server_down(server_id) or injector.should_drop(
+                        Verb.SEND, server_id
+                    ):
+                        return  # the response is lost; the client retries
+                    delay = injector.extra_delay(Verb.SEND, server_id)
+                    if delay > 0.0:
+                        yield self.sim.timeout(delay)
                 yield from self._response_leg(wire_bytes)
-            reply.succeed(response)
+            if not reply.triggered:
+                reply.succeed(response)
 
         self.sim.process(ship())

@@ -133,17 +133,39 @@ class Process(Event):
     process may ``yield`` another and receive its result.
     """
 
-    __slots__ = ("_generator",)
+    __slots__ = ("_generator", "_killed")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator) -> None:
         super().__init__(sim)
         self._generator = generator
+        self._killed = False
         # Kick the process off at the current instant.
         bootstrap = Event(sim)
         bootstrap.add_callback(self._resume)
         bootstrap.succeed()
 
+    def kill(self) -> None:
+        """Abandon the process at its current suspension point.
+
+        Models a crash: the generator is closed (``GeneratorExit`` is
+        raised at its current ``yield``, so ``finally`` blocks still run),
+        no further model effects happen, and the process event fires with
+        ``None`` so joins (``all_of``) on it do not deadlock. Killing a
+        completed or already-killed process is a no-op.
+        """
+        if self.triggered or self._killed:
+            return
+        self._killed = True
+        self._generator.close()
+        self.succeed(None)
+
     def _resume(self, fired: Event) -> None:
+        if self._killed:
+            # A crash left this callback registered on an in-flight event;
+            # swallow the wake-up (and defuse failures aimed at a corpse).
+            if fired._is_error:
+                fired._defused = True
+            return
         while True:
             try:
                 if fired._is_error:

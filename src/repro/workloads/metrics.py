@@ -17,6 +17,10 @@ class OpType:
     RANGE = "range"
     INSERT = "insert"
     DELETE = "delete"
+    #: Operation that surfaced a typed fault (timeout / retries exhausted).
+    #: Deliberately not part of ``ALL``: errored operations count in
+    #: :attr:`RunResult.errors`, never in throughput or latency figures.
+    ERROR = "error"
     ALL = (POINT, RANGE, INSERT, DELETE)
 
 
@@ -38,6 +42,9 @@ class RunResult:
     network: Dict[int, Tuple[int, int]] = field(default_factory=dict)
     #: Per-memory-server mean RPC-worker utilization over the window.
     cpu_utilization: Dict[int, float] = field(default_factory=dict)
+    #: Typed-fault counts (``{"TimeoutError_": n, ...}``) for operations
+    #: that failed inside the window. Empty unless faults were injected.
+    errors: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_ops(self) -> int:

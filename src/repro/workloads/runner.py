@@ -17,7 +17,7 @@ from typing import Any, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TimeoutError_
 from repro.index.base import DistributedIndex
 from repro.nam.cluster import Cluster
 from repro.workloads.datagen import Dataset
@@ -100,11 +100,14 @@ class WorkloadRunner:
                     compute_server = self.cluster.new_compute_server()
                 session = index.session(compute_server)
                 rng = np.random.default_rng((seed, client_id))
-                client_procs.append(
-                    self.cluster.spawn(
-                        self._client_loop(client_id, session, client_spec, rng, state)
-                    )
+                proc = self.cluster.spawn(
+                    self._client_loop(client_id, session, client_spec, rng, state)
                 )
+                client_procs.append(proc)
+                if self.cluster.fault_injector is not None:
+                    self.cluster.fault_injector.register_client(
+                        compute_server.server_id, proc
+                    )
                 client_id += 1
         workload_name = "+".join(
             spec_.name for spec_, _count in populations
@@ -128,8 +131,12 @@ class WorkloadRunner:
         )
         for op_type, start, end in state.records:
             if state.measure_from <= end <= window_end:
-                result.op_counts[op_type] = result.op_counts.get(op_type, 0) + 1
-                result.latencies.setdefault(op_type, []).append(end - start)
+                if op_type.startswith(OpType.ERROR):
+                    name = op_type.partition(":")[2]
+                    result.errors[name] = result.errors.get(name, 0) + 1
+                else:
+                    result.op_counts[op_type] = result.op_counts.get(op_type, 0) + 1
+                    result.latencies.setdefault(op_type, []).append(end - start)
         return result
 
     # ------------------------------------------------------------------ #
@@ -164,27 +171,34 @@ class WorkloadRunner:
         while not state.stop:
             draw = rng.random()
             start = sim.now
-            if draw < spec.point_fraction:
-                key = dataset.key_at(chooser.next_index())
-                yield from session.lookup(key)
-                op_type = OpType.POINT
-            elif draw < spec.point_fraction + spec.range_fraction:
-                low = dataset.key_at(chooser.next_index())
-                yield from session.range_scan(low, low + range_span)
-                op_type = OpType.RANGE
-            elif draw < (spec.point_fraction + spec.range_fraction
-                         + spec.delete_fraction):
-                key = dataset.key_at(chooser.next_index())
-                yield from session.delete(key)
-                op_type = OpType.DELETE
-            else:
-                if spec.insert_pattern == "append":
-                    key = dataset.key_space + state.append_seq
-                    state.append_seq += 1
+            try:
+                if draw < spec.point_fraction:
+                    key = dataset.key_at(chooser.next_index())
+                    yield from session.lookup(key)
+                    op_type = OpType.POINT
+                elif draw < spec.point_fraction + spec.range_fraction:
+                    low = dataset.key_at(chooser.next_index())
+                    yield from session.range_scan(low, low + range_span)
+                    op_type = OpType.RANGE
+                elif draw < (spec.point_fraction + spec.range_fraction
+                             + spec.delete_fraction):
+                    key = dataset.key_at(chooser.next_index())
+                    yield from session.delete(key)
+                    op_type = OpType.DELETE
                 else:
-                    key = int(rng.integers(0, dataset.key_space))
-                value = client_id * 1_000_000 + insert_seq
-                insert_seq += 1
-                yield from session.insert(key, value)
-                op_type = OpType.INSERT
+                    if spec.insert_pattern == "append":
+                        key = dataset.key_space + state.append_seq
+                        state.append_seq += 1
+                    else:
+                        key = int(rng.integers(0, dataset.key_space))
+                    value = client_id * 1_000_000 + insert_seq
+                    insert_seq += 1
+                    yield from session.insert(key, value)
+                    op_type = OpType.INSERT
+            except TimeoutError_ as exc:
+                # Under injected faults an operation may exhaust its retry
+                # budget. The client records the typed failure and moves on
+                # — the closed loop survives, mirroring an application that
+                # handles the error and continues.
+                op_type = f"{OpType.ERROR}:{type(exc).__name__}"
             state.records.append((op_type, start, sim.now))

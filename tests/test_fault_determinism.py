@@ -1,0 +1,106 @@
+"""Determinism regression: a fault schedule replays byte-identically.
+
+Every probabilistic decision the fault injector makes is drawn from one
+RNG seeded by the plan, in simulation order — so two fresh clusters given
+the same (plan seed, workload seed) pair must produce identical traces,
+metrics and fault statistics, byte for byte. This is what makes chaos
+failures debuggable: any failing schedule can be replayed exactly.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    FaultPlan,
+    FineGrainedIndex,
+    ServerCrash,
+    VerbTracer,
+)
+from repro.workloads import WorkloadRunner, WorkloadSpec, generate_dataset
+
+SPEC = WorkloadSpec(
+    name="det-mix",
+    point_fraction=0.6,
+    range_fraction=0.1,
+    insert_fraction=0.2,
+    delete_fraction=0.1,
+    selectivity=0.005,
+)
+
+PLAN = FaultPlan(
+    seed=97,
+    drop_probability=0.03,
+    delay_probability=0.08,
+    delay_s=25e-6,
+    duplicate_probability=0.03,
+    server_crashes=(ServerCrash(1, at_s=0.002, down_for_s=0.001),),
+)
+
+
+def _chaos_run():
+    """One complete chaos run on a fresh cluster; returns its full
+    observable output serialized to a string."""
+    cluster = Cluster(ClusterConfig(num_memory_servers=2, seed=23))
+    dataset = generate_dataset(400, gap=4)
+    index = FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+    injector = cluster.attach_faults(PLAN)
+    runner = WorkloadRunner(cluster, dataset, clients_per_compute_server=6)
+    with VerbTracer(cluster) as tracer:
+        result = runner.run(
+            index, SPEC, num_clients=6, warmup_s=0.0005, measure_s=0.004,
+            seed=29,
+        )
+    injector.quiesce()
+    session = index.session(cluster.new_compute_server())
+    scan = cluster.execute(session.range_scan(0, dataset.key_space * 2))
+    lines = [
+        repr(sorted(result.op_counts.items())),
+        repr(sorted(result.errors.items())),
+        repr({op: [f"{s:.12e}" for s in samples]
+              for op, samples in sorted(result.latencies.items())}),
+        repr(sorted(result.network.items())),
+        repr(sorted(injector.stats.items())),
+        repr(scan),
+        f"final_now={cluster.now:.12e}",
+    ]
+    for record in tracer.records:
+        lines.append(
+            f"{record.verb.value} s={record.server_id} b={record.payload_bytes} "
+            f"t0={record.started_at:.12e} t1={record.finished_at:.12e}"
+        )
+    return "\n".join(lines)
+
+
+def test_same_schedule_replays_byte_identically():
+    first = _chaos_run()
+    second = _chaos_run()
+    assert first.encode() == second.encode()
+    # The run actually exercised the fault machinery (guards against the
+    # test silently degenerating into a happy-path comparison).
+    assert "('drops', 0)" not in first
+    assert "('server_crashes', 1)" in first
+
+
+def test_different_plan_seed_diverges():
+    first = _chaos_run()
+    cluster = Cluster(ClusterConfig(num_memory_servers=2, seed=23))
+    dataset = generate_dataset(400, gap=4)
+    index = FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+    plan = FaultPlan(
+        seed=PLAN.seed + 1,
+        drop_probability=PLAN.drop_probability,
+        delay_probability=PLAN.delay_probability,
+        delay_s=PLAN.delay_s,
+        duplicate_probability=PLAN.duplicate_probability,
+        server_crashes=PLAN.server_crashes,
+    )
+    injector = cluster.attach_faults(plan)
+    runner = WorkloadRunner(cluster, dataset, clients_per_compute_server=6)
+    result = runner.run(
+        index, SPEC, num_clients=6, warmup_s=0.0005, measure_s=0.004, seed=29
+    )
+    other = repr(sorted(injector.stats.items())) + repr(
+        sorted(result.op_counts.items())
+    )
+    assert other not in first

@@ -6,6 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Cluster, ClusterConfig, FineGrainedIndex, HybridIndex
+from repro.errors import TimeoutError_
+from repro.rdma.faults import FaultPlan
 from repro.workloads import generate_dataset
 
 
@@ -65,6 +67,125 @@ def test_distributed_index_matches_sorted_multimap(ops, design):
                 for payload in payloads
             )
             assert sorted(got) == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "update", "delete", "lookup", "scan"]),
+            st.integers(min_value=0, max_value=120),
+        ),
+        max_size=40,
+    ),
+    plan_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_index_under_faults_matches_uncertainty_oracle(ops, plan_seed):
+    """Random op sequences with injected message faults, against an oracle
+    that tracks *uncertainty*.
+
+    A faulted operation raises a typed error with its outcome unknown —
+    the transport applies effects at most once, so each attempted op was
+    applied zero or one times. The oracle therefore keeps, per key, the
+    set of values ``certain``ly present and the set of values that ``may``
+    be present; every observed state must lie between the two bounds, and
+    any op touching a key under uncertainty widens its bounds instead of
+    asserting exactly.
+    """
+    cluster = Cluster(ClusterConfig(num_memory_servers=2, seed=2))
+    dataset = generate_dataset(40, gap=4)
+    index = FineGrainedIndex.build(cluster, "prop", dataset.pairs())
+    injector = cluster.attach_faults(
+        FaultPlan(
+            seed=plan_seed,
+            drop_probability=0.03,
+            delay_probability=0.05,
+            duplicate_probability=0.02,
+        )
+    )
+    session = index.session(cluster.new_compute_server())
+
+    certain = {key: {value} for key, value in dataset.pairs()}
+    maybe = {key: set() for key, value in dataset.pairs()}
+
+    def bounds(key):
+        lo = certain.get(key, set())
+        return lo, lo | maybe.get(key, set())
+
+    seq = 1000
+    for op, key in ops:
+        lo, hi = bounds(key)
+        try:
+            if op == "insert":
+                cluster.execute(session.insert(key, seq))
+                certain.setdefault(key, set()).add(seq)
+                maybe.setdefault(key, set())
+            elif op == "update":
+                found = cluster.execute(session.update(key, seq))
+                # `found` is only fully determined when the key's presence
+                # is certain either way.
+                if lo:
+                    assert found
+                elif not hi:
+                    assert not found
+                if found:
+                    # One value (which one is unknowable under faults)
+                    # became seq; everything else is now only "maybe".
+                    maybe[key] = (lo | maybe.get(key, set())) - {seq}
+                    certain[key] = {seq}
+            elif op == "delete":
+                found = cluster.execute(session.delete(key))
+                if lo:
+                    assert found
+                elif not hi:
+                    assert not found
+                if found:
+                    # One unknowable value was removed.
+                    maybe[key] = lo | maybe.get(key, set())
+                    certain[key] = set()
+            elif op == "lookup":
+                got = set(cluster.execute(session.lookup(key)))
+                assert lo <= got <= hi
+            else:
+                low, high = sorted((key, key + 40))
+                got = cluster.execute(session.range_scan(low, high))
+                by_key = {}
+                for k, v in got:
+                    by_key.setdefault(k, set()).add(v)
+                for k in set(certain) | set(by_key):
+                    if low <= k < high:
+                        k_lo, k_hi = bounds(k)
+                        assert k_lo <= by_key.get(k, set()) <= k_hi
+        except TimeoutError_:
+            # Outcome unknown: the op was applied zero or one times.
+            # Widen the touched key's bounds accordingly.
+            if op == "insert":
+                maybe.setdefault(key, set()).add(seq)
+                certain.setdefault(key, set())
+            elif op == "update":
+                if hi:
+                    maybe[key] = lo | maybe[key] | {seq}
+                    certain[key] = set()
+            elif op == "delete":
+                if hi and key in certain:
+                    maybe[key] |= certain[key]
+                    certain[key] = set()
+        if op in ("insert", "update"):
+            seq += 1
+
+    # Quiesce and verify the final state lies within the oracle's bounds,
+    # then check structural invariants survived the chaos.
+    injector.quiesce()
+    scan = cluster.execute(session.range_scan(0, dataset.key_space + 200))
+    by_key = {}
+    for k, v in scan:
+        by_key.setdefault(k, set()).add(v)
+    for k in set(certain) | set(by_key):
+        k_lo, k_hi = bounds(k)
+        assert k_lo <= by_key.get(k, set()) <= k_hi
+    cluster.execute(
+        index.tree_for(cluster.new_compute_server()).validate()
+    )
 
 
 class TestStalePointers:
