@@ -1,0 +1,44 @@
+"""Benchmark target for the availability extension (crash + replication).
+
+Besides timing the run, this benchmark writes ``BENCH_availability.json``
+next to the repo root so the recovery-time and replicated-write-overhead
+trajectory is recorded per commit.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments import ext_availability
+
+
+def test_availability_extension(benchmark, run_once, bench_scale):
+    results = run_once(ext_availability.run, scale=bench_scale, num_clients=20)
+    ext_availability.print_figure(results)
+
+    series = {}
+    for design, cell in results.items():
+        assert cell.verify_report.ok, cell.verify_report.violations
+        assert cell.replication_stats.get("failovers", 0) >= 1
+        # The crash dents throughput but never floors it for the window.
+        assert cell.dip_throughput < cell.pre_crash_throughput
+        series[design] = {
+            "pre_crash_throughput": cell.pre_crash_throughput,
+            "dip_throughput": cell.dip_throughput,
+            "recovery_time_s": cell.recovery_time_s,
+            "unreplicated_throughput": cell.unreplicated_throughput,
+            "replicated_throughput": cell.replicated_throughput,
+            "write_overhead": cell.write_overhead,
+            "errored_ops": cell.errored_ops,
+            "failovers": cell.replication_stats.get("failovers", 0),
+            "re_replications": cell.replication_stats.get("re_replications", 0),
+        }
+    benchmark.extra_info["availability"] = series
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_availability.json"
+    out.write_text(json.dumps(series, indent=2, sort_keys=True) + "\n")
+
+    # Replication must stay a modest tax on a healthy cluster, and every
+    # design must actually recover within the crash window.
+    for design, cell in results.items():
+        assert cell.write_overhead < 2.0, design
+        assert cell.recovery_time_s != float("inf"), design

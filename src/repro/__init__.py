@@ -28,7 +28,14 @@ from repro.config import (
     RetryConfig,
     TreeConfig,
 )
-from repro.errors import ReproError, RetriesExhaustedError, TimeoutError_
+from repro.errors import (
+    ConfigurationWarning,
+    FailoverError,
+    ReplicaDivergenceError,
+    ReproError,
+    RetriesExhaustedError,
+    TimeoutError_,
+)
 from repro.index import (
     CoarseGrainedIndex,
     DistributedIndex,
@@ -38,7 +45,9 @@ from repro.index import (
     HybridIndex,
     IndexSession,
     RangePartitioner,
+    VerifyReport,
     cached_session,
+    verify_index,
 )
 from repro.nam import Cluster, ComputeServer, MemoryServer
 from repro.rdma.faults import ComputeCrash, FaultInjector, FaultPlan, ServerCrash
@@ -56,6 +65,9 @@ __all__ = [
     "ReproError",
     "RetriesExhaustedError",
     "TimeoutError_",
+    "FailoverError",
+    "ReplicaDivergenceError",
+    "ConfigurationWarning",
     "ComputeCrash",
     "FaultInjector",
     "FaultPlan",
@@ -69,6 +81,8 @@ __all__ = [
     "IndexSession",
     "RangePartitioner",
     "cached_session",
+    "VerifyReport",
+    "verify_index",
     "Cluster",
     "ComputeServer",
     "MemoryServer",

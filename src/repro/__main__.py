@@ -34,6 +34,7 @@ EXPERIMENTS = {
     "reqskew": ("Extension: Zipfian request skew", "ext_request_skew"),
     "cachestrat": ("Extension: caching strategies", "ext_caching_strategies"),
     "pagesize": ("Extension: page-size sensitivity", "ext_page_size"),
+    "availability": ("Extension: crash availability & replication", "ext_availability"),
 }
 
 _SKEWED = {"fig07": True, "fig08": False, "fig13": True, "fig14": False}
@@ -59,7 +60,8 @@ def _run_experiment(name: str, scale):
     elif name == "fig03":
         module.main()
         return None
-    elif name in ("a4", "reqskew", "contention", "cachestrat", "pagesize"):
+    elif name in ("a4", "reqskew", "contention", "cachestrat", "pagesize",
+                  "availability"):
         results = module.run(scale=scale)
         module.print_figure(results)
     else:

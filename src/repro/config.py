@@ -11,9 +11,10 @@ bytes/second.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ConfigurationWarning
 
 __all__ = ["NetworkConfig", "CpuConfig", "TreeConfig", "RetryConfig", "ClusterConfig"]
 
@@ -154,6 +155,33 @@ class RetryConfig:
             raise ConfigurationError("jitter_fraction must be in [0, 1)")
         if self.lock_lease_s <= 0:
             raise ConfigurationError("lock_lease_s must be > 0")
+        # Cross-field sanity: a lease that does not comfortably exceed the
+        # worst-case retry budget can steal locks from merely-slow (alive)
+        # holders — a verb inside a critical section may legitimately take
+        # the whole budget before succeeding. Warn rather than reject: some
+        # crash-recovery tests configure deliberately tight leases.
+        if self.lock_lease_s < 2.0 * self.retry_budget_s:
+            warnings.warn(
+                f"lock_lease_s={self.lock_lease_s:g} does not comfortably "
+                f"exceed the worst-case retry budget "
+                f"({self.retry_budget_s:g}s = max_attempts * (timeout_s + "
+                f"max backoff)); a slow-but-alive lock holder may be robbed "
+                f"mid-write. Use lock_lease_s >= {2.0 * self.retry_budget_s:g}.",
+                ConfigurationWarning,
+                stacklevel=3,
+            )
+
+    @property
+    def retry_budget_s(self) -> float:
+        """Worst-case wall time one verb can spend inside its retry loop:
+        ``max_attempts * (timeout_s + max backoff)``, with the backoff taken
+        at its largest (last-attempt, maximum-jitter) value."""
+        max_backoff = (
+            self.base_delay_s
+            * self.backoff_multiplier ** (self.max_attempts - 1)
+            * (1.0 + self.jitter_fraction)
+        )
+        return self.max_attempts * (self.timeout_s + max_backoff)
 
 
 @dataclass(frozen=True)
@@ -175,6 +203,13 @@ class ClusterConfig:
     #: Co-locate compute servers with memory servers on the same physical
     #: machines (Appendix A.3). Local accesses then bypass the NIC.
     colocated: bool = False
+    #: Copies of every logical memory server's state (FaRM-style
+    #: primary/backup): 1 (the default) disables replication entirely —
+    #: no backup stores, no mirror traffic, behavior bit-identical to the
+    #: unreplicated build. With k > 1, each logical server's pages are
+    #: mirrored onto the next ``k - 1`` servers in ring order and a crash
+    #: becomes destructive-but-survivable (see docs/replication.md).
+    replication_factor: int = 1
     seed: int = 42
 
     network: NetworkConfig = field(default_factory=NetworkConfig)
@@ -191,6 +226,14 @@ class ClusterConfig:
             raise ConfigurationError(
                 "remote pointers encode the server id in 7 bits; "
                 "at most 128 memory servers are supported"
+            )
+        if self.replication_factor < 1:
+            raise ConfigurationError("replication_factor must be >= 1")
+        if self.replication_factor > self.num_memory_servers:
+            raise ConfigurationError(
+                f"replication_factor={self.replication_factor} needs at "
+                f"least that many memory servers "
+                f"(have {self.num_memory_servers})"
             )
 
     @property

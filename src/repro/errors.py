@@ -4,6 +4,22 @@ All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything from this package with a single ``except`` clause.
 """
 
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "NetworkError",
+    "RemoteAccessError",
+    "TimeoutError_",
+    "RetriesExhaustedError",
+    "FailoverError",
+    "AllocationError",
+    "IndexError_",
+    "ReplicaDivergenceError",
+    "CatalogError",
+    "ConfigurationError",
+    "ConfigurationWarning",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -36,6 +52,14 @@ class RetriesExhaustedError(TimeoutError_):
     """
 
 
+class FailoverError(TimeoutError_):
+    """A crashed memory server could not be failed over: no live backup
+    replica holds its state (``replication_factor`` too low, or every
+    replica host is down at once). Subclasses :class:`TimeoutError_`
+    because callers observe it exactly where a timeout would surface —
+    after the retry budget on the dead primary is spent."""
+
+
 class AllocationError(ReproError):
     """A memory server ran out of registered memory."""
 
@@ -45,9 +69,22 @@ class IndexError_(ReproError):
     avoid shadowing the builtin :class:`IndexError`)."""
 
 
+class ReplicaDivergenceError(IndexError_):
+    """A backup replica's bytes differ from its primary's.
+
+    With synchronous primary-then-backup mirroring this must never happen
+    on a quiescent cluster; it indicates a replication-protocol bug (or a
+    deliberately corrupted replica in tests)."""
+
+
 class CatalogError(ReproError):
     """Catalog lookup failed (unknown index name, missing root pointer)."""
 
 
 class ConfigurationError(ReproError):
     """An invalid cluster/workload configuration was supplied."""
+
+
+class ConfigurationWarning(UserWarning):
+    """A configuration is legal but risky (e.g. a lock lease shorter than
+    the worst-case retry budget, which can steal locks from live holders)."""

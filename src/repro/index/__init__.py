@@ -12,6 +12,7 @@ from repro.index.coarse_grained import CoarseGrainedIndex, CoarseGrainedSession
 from repro.index.fine_grained import FineGrainedIndex, FineGrainedSession
 from repro.index.gc import EpochGarbageCollector
 from repro.index.hybrid import HybridIndex, HybridSession
+from repro.index.verify import VerifyReport, verify_index
 from repro.index.partitioning import (
     HashPartitioner,
     Partitioner,
@@ -39,4 +40,6 @@ __all__ = [
     "Partitioner",
     "RangePartitioner",
     "RoundRobinPartitioner",
+    "VerifyReport",
+    "verify_index",
 ]

@@ -47,6 +47,7 @@ from repro.nam.allocator import ALLOC_WORD_OFFSET
 from repro.nam.catalog import RootLocation
 from repro.nam.compute_server import ComputeServer
 from repro.nam.memory_server import MemoryServer
+from repro.nam.replication import failover_retry
 
 __all__ = ["LocalAccessor", "RemoteAccessor", "LocalRootRef", "RemoteRootRef"]
 
@@ -59,10 +60,27 @@ _LOCK_VERSION_MASK = (1 << _LOCK_TAG_SHIFT) - 1
 
 
 class LocalAccessor(NodeAccessor):
-    """Node access from within a memory server's RPC worker."""
+    """Node access from within a memory server's RPC worker.
 
-    def __init__(self, server: MemoryServer) -> None:
+    Normally the accessed region is the hosting server's own and the
+    logical id it answers for is the server's id. After a failover the
+    promoted host serves an *adopted* logical server: the promotion hooks
+    rebuild local accessors with explicit ``region`` / ``logical_id`` /
+    ``allocator`` overrides pointing at the adopted replica copy, while
+    CPU time keeps being charged to the physical host doing the work.
+    """
+
+    def __init__(
+        self,
+        server: MemoryServer,
+        region=None,
+        logical_id: int = None,
+        allocator=None,
+    ) -> None:
         self.server = server
+        self.region = region if region is not None else server.region
+        self.logical_id = logical_id if logical_id is not None else server.server_id
+        self.allocator = allocator if allocator is not None else server.allocator
         self.page_size = server.config.tree.page_size
         self._node_cost = server.config.cpu.per_node_cost_s
         self._atomic_cost = server.config.cpu.per_node_cost_s / 4
@@ -70,9 +88,9 @@ class LocalAccessor(NodeAccessor):
 
     def _offset(self, raw_ptr: int) -> int:
         pointer = RemotePointer.from_raw(raw_ptr)
-        if pointer.server_id != self.server.server_id:
+        if pointer.server_id != self.logical_id:
             raise RemoteAccessError(
-                f"local accessor on server {self.server.server_id} asked to "
+                f"local accessor for logical server {self.logical_id} asked to "
                 f"touch a node on server {pointer.server_id}"
             )
         return pointer.offset
@@ -80,17 +98,17 @@ class LocalAccessor(NodeAccessor):
     def read_node(self, raw_ptr: int) -> Generator[Any, Any, Node]:
         offset = self._offset(raw_ptr)
         yield self.server.cpu(self._node_cost)
-        return Node.from_bytes(self.server.region.read(offset, self.page_size))
+        return Node.from_bytes(self.region.read(offset, self.page_size))
 
     def write_node(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
         offset = self._offset(raw_ptr)
         yield self.server.cpu(self._node_cost)
-        self.server.region.write(offset, node.to_bytes(self.page_size))
+        self.region.write(offset, node.to_bytes(self.page_size))
 
     def try_lock(self, raw_ptr: int, version: int) -> Generator[Any, Any, bool]:
         offset = self._offset(raw_ptr)
         yield self.server.cpu(self._atomic_cost)
-        swapped, _old = self.server.region.compare_and_swap(
+        swapped, _old = self.region.compare_and_swap(
             offset, version, version | 1
         )
         return swapped
@@ -99,18 +117,18 @@ class LocalAccessor(NodeAccessor):
         offset = self._offset(raw_ptr)
         node.version |= 1
         yield self.server.cpu(self._node_cost)
-        self.server.region.write(offset, node.to_bytes(self.page_size))
-        self.server.region.fetch_and_add(offset, 1)
+        self.region.write(offset, node.to_bytes(self.page_size))
+        self.region.fetch_and_add(offset, 1)
 
     def unlock_nochange(self, raw_ptr: int) -> Generator[Any, Any, None]:
         offset = self._offset(raw_ptr)
         yield self.server.cpu(self._atomic_cost)
-        self.server.region.fetch_and_add(offset, 1)
+        self.region.fetch_and_add(offset, 1)
 
     def alloc(self, level: int) -> Generator[Any, Any, int]:
         yield self.server.cpu(self._atomic_cost)
-        offset = self.server.allocator.allocate()
-        return encode_pointer(self.server.server_id, offset)
+        offset = self.allocator.allocate()
+        return encode_pointer(self.logical_id, offset)
 
     def spin_pause(self) -> Generator[Any, Any, None]:
         # The worker burns its core while spinning — deliberately.
@@ -147,10 +165,32 @@ class RemoteAccessor(NodeAccessor):
         #: Lock steals performed by this accessor (lease recovery).
         self.lock_steals = 0
 
+    def _failover(self, server_id: int, op_factory) -> Generator[Any, Any, Any]:
+        """Run ``op_factory()`` with failover-on-retries-exhausted.
+
+        Without a replication manager this is a plain delegation (zero
+        extra simulation events). With one, a
+        :class:`~repro.errors.RetriesExhaustedError` triggers a consult of
+        the directory epoch — and a backup promotion if this client is the
+        first to notice the crash — before the operation is retried
+        against the re-routed queue pair. ``op_factory`` must resolve its
+        queue pair via :meth:`ComputeServer.qp` on every call so the
+        retry lands on the new primary.
+        """
+        if self.compute_server.fabric.replication is None:
+            return (yield from op_factory())
+        return (
+            yield from failover_retry(self.compute_server, server_id, op_factory)
+        )
+
     def read_node(self, raw_ptr: int) -> Generator[Any, Any, Node]:
         pointer = RemotePointer.from_raw(raw_ptr)
-        qp = self.compute_server.qp(pointer.server_id)
-        data = yield from qp.read(pointer.offset, self.page_size)
+
+        def op() -> Generator[Any, Any, bytes]:
+            qp = self.compute_server.qp(pointer.server_id)
+            return (yield from qp.read(pointer.offset, self.page_size))
+
+        data = yield from self._failover(pointer.server_id, op)
         yield self.compute_server.sim.timeout(self._search_cost)
         return Node.from_bytes(data)
 
@@ -162,15 +202,26 @@ class RemoteAccessor(NodeAccessor):
 
     def write_node(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
         pointer = RemotePointer.from_raw(raw_ptr)
-        qp = self.compute_server.qp(pointer.server_id)
-        yield from qp.write(pointer.offset, node.to_bytes(self.page_size))
+        data = node.to_bytes(self.page_size)
+
+        def op() -> Generator[Any, Any, None]:
+            qp = self.compute_server.qp(pointer.server_id)
+            yield from qp.write(pointer.offset, data)
+
+        yield from self._failover(pointer.server_id, op)
 
     def try_lock(self, raw_ptr: int, version: int) -> Generator[Any, Any, bool]:
         pointer = RemotePointer.from_raw(raw_ptr)
-        qp = self.compute_server.qp(pointer.server_id)
-        swapped, _old = yield from qp.compare_and_swap(
-            pointer.offset, version, version | 1 | self._owner_tag_word
-        )
+
+        def op() -> Generator[Any, Any, Any]:
+            qp = self.compute_server.qp(pointer.server_id)
+            return (
+                yield from qp.compare_and_swap(
+                    pointer.offset, version, version | 1 | self._owner_tag_word
+                )
+            )
+
+        swapped, _old = yield from self._failover(pointer.server_id, op)
         return swapped
 
     def unlock_write(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
@@ -178,17 +229,32 @@ class RemoteAccessor(NodeAccessor):
         # subsequent FAA(+1) both clears our owner tag (the word was just
         # overwritten) and releases the lock.
         pointer = RemotePointer.from_raw(raw_ptr)
-        qp = self.compute_server.qp(pointer.server_id)
         node.version |= 1
-        yield from qp.write(pointer.offset, node.to_bytes(self.page_size))
-        yield from qp.fetch_and_add(pointer.offset, 1)
+        data = node.to_bytes(self.page_size)
+
+        def write_op() -> Generator[Any, Any, None]:
+            qp = self.compute_server.qp(pointer.server_id)
+            yield from qp.write(pointer.offset, data)
+
+        def faa_op() -> Generator[Any, Any, int]:
+            qp = self.compute_server.qp(pointer.server_id)
+            return (yield from qp.fetch_and_add(pointer.offset, 1))
+
+        yield from self._failover(pointer.server_id, write_op)
+        yield from self._failover(pointer.server_id, faa_op)
 
     def unlock_nochange(self, raw_ptr: int) -> Generator[Any, Any, None]:
         # Single FAA that increments the version *and* subtracts our owner
         # tag (mod 2**64), restoring a clean even word in one atomic.
         pointer = RemotePointer.from_raw(raw_ptr)
-        qp = self.compute_server.qp(pointer.server_id)
-        yield from qp.fetch_and_add(pointer.offset, 1 - self._owner_tag_word)
+
+        def op() -> Generator[Any, Any, int]:
+            qp = self.compute_server.qp(pointer.server_id)
+            return (
+                yield from qp.fetch_and_add(pointer.offset, 1 - self._owner_tag_word)
+            )
+
+        yield from self._failover(pointer.server_id, op)
 
     def alloc(self, level: int) -> Generator[Any, Any, int]:
         if self._alloc_pinned is not None:
@@ -196,8 +262,12 @@ class RemoteAccessor(NodeAccessor):
         else:
             server_id = self._alloc_counter % self.compute_server.num_memory_servers
             self._alloc_counter += 1
-        qp = self.compute_server.qp(server_id)
-        offset = yield from qp.fetch_and_add(ALLOC_WORD_OFFSET, self.page_size)
+
+        def op() -> Generator[Any, Any, int]:
+            qp = self.compute_server.qp(server_id)
+            return (yield from qp.fetch_and_add(ALLOC_WORD_OFFSET, self.page_size))
+
+        offset = yield from self._failover(server_id, op)
         return encode_pointer(server_id, offset)
 
     def spin_pause(self) -> Generator[Any, Any, None]:
@@ -224,11 +294,17 @@ class RemoteAccessor(NodeAccessor):
         # (clear the owner tag and lock bit, then +2), so optimistic readers
         # that captured the pre-crash version correctly restart.
         pointer = RemotePointer.from_raw(raw_ptr)
-        qp = self.compute_server.qp(pointer.server_id)
         stolen_word = ((observed_word & _LOCK_VERSION_MASK) & ~1) + 2
-        swapped, _old = yield from qp.compare_and_swap(
-            pointer.offset, observed_word, stolen_word
-        )
+
+        def op() -> Generator[Any, Any, Any]:
+            qp = self.compute_server.qp(pointer.server_id)
+            return (
+                yield from qp.compare_and_swap(
+                    pointer.offset, observed_word, stolen_word
+                )
+            )
+
+        swapped, _old = yield from self._failover(pointer.server_id, op)
         if swapped:
             self.lock_steals += 1
             injector = self.compute_server.fabric.injector
@@ -238,26 +314,34 @@ class RemoteAccessor(NodeAccessor):
 
 
 class LocalRootRef(RootRef):
-    """A root pointer word in the accessing server's own region."""
+    """A root pointer word in the accessing server's own region.
 
-    def __init__(self, server: MemoryServer, location: RootLocation) -> None:
-        if location.server_id != server.server_id:
+    With an explicit ``region`` (a promoted host operating an adopted
+    replica copy) the same-server check is skipped — the root word then
+    lives in the adopted region rather than the host's own.
+    """
+
+    def __init__(
+        self, server: MemoryServer, location: RootLocation, region=None
+    ) -> None:
+        if region is None and location.server_id != server.server_id:
             raise CatalogError(
                 "local root reference must live on the accessing server"
             )
         self.server = server
+        self.region = region if region is not None else server.region
         self.offset = location.offset
 
     def get(self) -> Generator[Any, Any, int]:
-        return self.server.region.read_u64(self.offset)
+        return self.region.read_u64(self.offset)
         yield  # pragma: no cover - unreachable; makes this a generator
 
     def refresh(self) -> Generator[Any, Any, int]:
-        return self.server.region.read_u64(self.offset)
+        return self.region.read_u64(self.offset)
         yield  # pragma: no cover - unreachable; makes this a generator
 
     def compare_and_swap(self, old: int, new: int) -> Generator[Any, Any, bool]:
-        swapped, _ = self.server.region.compare_and_swap(self.offset, old, new)
+        swapped, _ = self.region.compare_and_swap(self.offset, old, new)
         return swapped
         yield  # pragma: no cover - unreachable; makes this a generator
 
@@ -281,9 +365,21 @@ class RemoteRootRef(RootRef):
             return self._cached
         return (yield from self.refresh())
 
+    def _failover(self, op_factory) -> Generator[Any, Any, Any]:
+        if self.compute_server.fabric.replication is None:
+            return (yield from op_factory())
+        return (
+            yield from failover_retry(
+                self.compute_server, self.location.server_id, op_factory
+            )
+        )
+
     def refresh(self) -> Generator[Any, Any, int]:
-        qp = self.compute_server.qp(self.location.server_id)
-        data = yield from qp.read(self.location.offset, 8)
+        def op() -> Generator[Any, Any, bytes]:
+            qp = self.compute_server.qp(self.location.server_id)
+            return (yield from qp.read(self.location.offset, 8))
+
+        data = yield from self._failover(op)
         raw = int.from_bytes(data, "little")
         if raw == 0:
             raise CatalogError("root pointer word is uninitialized")
@@ -291,9 +387,12 @@ class RemoteRootRef(RootRef):
         return raw
 
     def compare_and_swap(self, old: int, new: int) -> Generator[Any, Any, bool]:
-        qp = self.compute_server.qp(self.location.server_id)
-        swapped, current = yield from qp.compare_and_swap(
-            self.location.offset, old, new
-        )
+        def op() -> Generator[Any, Any, Any]:
+            qp = self.compute_server.qp(self.location.server_id)
+            return (
+                yield from qp.compare_and_swap(self.location.offset, old, new)
+            )
+
+        swapped, current = yield from self._failover(op)
         self._cached = new if swapped else current
         return swapped

@@ -40,36 +40,48 @@ _APP = "coarse-grained"
 # server-side RPC handlers                                                     #
 # --------------------------------------------------------------------------- #
 
-def _tree(server: MemoryServer, index_name: str) -> BLinkTree:
-    return server.app[(_APP, index_name)]
+def _tree(server: MemoryServer, index_name: str, partition: int) -> BLinkTree:
+    """The tree serving *partition* on *server*.
+
+    Trees are keyed by logical partition because a promoted host serves
+    partitions besides its own. ``partition < 0`` (a pre-replication
+    client) means "whatever this server natively owns".
+    """
+    if partition < 0:
+        partition = server.server_id
+    return server.app[(_APP, index_name, partition)]
 
 
 def _handle_point_lookup(server: MemoryServer, msg: rpc.PointLookupRequest):
-    values = yield from _tree(server, msg.index).lookup(msg.key)
+    values = yield from _tree(server, msg.index, msg.partition).lookup(msg.key)
     response = rpc.ValueResponse(tuple(values))
     return response, response.wire_bytes
 
 
 def _handle_range_scan(server: MemoryServer, msg: rpc.RangeScanRequest):
-    pairs = yield from _tree(server, msg.index).range_scan(msg.low, msg.high)
+    pairs = yield from _tree(server, msg.index, msg.partition).range_scan(
+        msg.low, msg.high
+    )
     response = rpc.PairsResponse(tuple(pairs))
     return response, response.wire_bytes
 
 
 def _handle_insert(server: MemoryServer, msg: rpc.InsertRequest):
-    yield from _tree(server, msg.index).insert(msg.key, msg.value)
+    yield from _tree(server, msg.index, msg.partition).insert(msg.key, msg.value)
     response = rpc.AckResponse()
     return response, response.wire_bytes
 
 
 def _handle_update(server: MemoryServer, msg: rpc.UpdateRequest):
-    found = yield from _tree(server, msg.index).update(msg.key, msg.value)
+    found = yield from _tree(server, msg.index, msg.partition).update(
+        msg.key, msg.value
+    )
     response = rpc.AckResponse(ok=found)
     return response, response.wire_bytes
 
 
 def _handle_delete(server: MemoryServer, msg: rpc.DeleteRequest):
-    found = yield from _tree(server, msg.index).delete(msg.key)
+    found = yield from _tree(server, msg.index, msg.partition).delete(msg.key)
     response = rpc.AckResponse(ok=found)
     return response, response.wire_bytes
 
@@ -81,6 +93,32 @@ _HANDLERS = {
     rpc.UpdateRequest: _handle_update,
     rpc.DeleteRequest: _handle_delete,
 }
+
+
+def _promotion_hook(name: str, roots: Dict[int, "RootLocation"], page_size: int):
+    """Re-install one index's partition tree on a freshly promoted host.
+
+    The promoted host adopts the replica copy of the failed partition: the
+    tree and its allocator operate on the adopted region (whose bump word
+    carries the dead primary's allocation high-water mark), while RPC CPU
+    time is charged to the new host's workers.
+    """
+    from repro.nam.allocator import PageAllocator
+
+    def hook(logical_id: int, host: MemoryServer, region) -> None:
+        if logical_id not in roots:
+            return
+        allocator = PageAllocator.adopt(region, page_size)
+        host.app[(_APP, name, logical_id)] = BLinkTree(
+            LocalAccessor(
+                host, region=region, logical_id=logical_id, allocator=allocator
+            ),
+            LocalRootRef(host, roots[logical_id], region=region),
+        )
+        for request_type, handler in _HANDLERS.items():
+            host.register_handler(request_type, handler)
+
+    return hook
 
 
 # --------------------------------------------------------------------------- #
@@ -149,7 +187,7 @@ class CoarseGrainedIndex(DistributedIndex):
             )
             server.region.write_u64(root_location.offset, result.root_raw)
             roots[server_id] = root_location
-            server.app[(_APP, name)] = BLinkTree(
+            server.app[(_APP, name, server_id)] = BLinkTree(
                 LocalAccessor(server), LocalRootRef(server, root_location)
             )
             for request_type, handler in _HANDLERS.items():
@@ -164,14 +202,24 @@ class CoarseGrainedIndex(DistributedIndex):
                 partitioner=partitioner,
             )
         )
+        if cluster.replication is not None:
+            cluster.replication.register_promotion_hook(
+                _promotion_hook(name, roots, cluster.config.tree.page_size)
+            )
         return index
 
     def session(self, compute_server: ComputeServer) -> "CoarseGrainedSession":
         return CoarseGrainedSession(self, compute_server)
 
     def local_tree(self, server_id: int) -> BLinkTree:
-        """The server-resident tree of one partition (tests/validation)."""
-        return _tree(self.cluster.memory_server(server_id), self.name)
+        """The server-resident tree of one partition (tests/validation).
+
+        Routed: after a failover the tree lives on the promoted host."""
+        replication = self.cluster.replication
+        if replication is not None:
+            host_id = replication.primary_host_id(server_id)
+            return _tree(self.cluster.memory_server(host_id), self.name, server_id)
+        return _tree(self.cluster.memory_server(server_id), self.name, server_id)
 
     def start_gc(self, epoch_s: float = 0.05):
         """Launch one epoch garbage collector per memory server
@@ -218,9 +266,15 @@ class CoarseGrainedSession(IndexSession):
     # -- plumbing ---------------------------------------------------------------
 
     def _call(self, server_id: int, request) -> Generator[Any, Any, Any]:
-        qp = self.compute_server.qp(server_id)
-        response = yield from qp.call(request, request.wire_bytes)
-        return response
+        def op() -> Generator[Any, Any, Any]:
+            qp = self.compute_server.qp(server_id)
+            return (yield from qp.call(request, request.wire_bytes))
+
+        if self.compute_server.fabric.replication is None:
+            return (yield from op())
+        from repro.nam.replication import failover_retry
+
+        return (yield from failover_retry(self.compute_server, server_id, op))
 
     # -- operations ---------------------------------------------------------------
 
@@ -230,7 +284,7 @@ class CoarseGrainedSession(IndexSession):
         if local is not None:
             return (yield from local.lookup(key))
         response = yield from self._call(
-            server_id, rpc.PointLookupRequest(self.index.name, key)
+            server_id, rpc.PointLookupRequest(self.index.name, key, partition=server_id)
         )
         return list(response.values)
 
@@ -247,7 +301,7 @@ class CoarseGrainedSession(IndexSession):
                 pairs = yield from local.range_scan(low, high)
                 return pairs
             response = yield from self._call(
-                server_id, rpc.RangeScanRequest(self.index.name, low, high)
+                server_id, rpc.RangeScanRequest(self.index.name, low, high, partition=server_id)
             )
             return list(response.pairs)
 
@@ -268,7 +322,7 @@ class CoarseGrainedSession(IndexSession):
         if local is not None:
             yield from local.insert(key, value)
             return
-        yield from self._call(server_id, rpc.InsertRequest(self.index.name, key, value))
+        yield from self._call(server_id, rpc.InsertRequest(self.index.name, key, value, partition=server_id))
 
     def update(self, key: int, value: int) -> Generator[Any, Any, bool]:
         server_id = self.index.partitioner.server_for_key(key)
@@ -276,7 +330,7 @@ class CoarseGrainedSession(IndexSession):
         if local is not None:
             return (yield from local.update(key, value))
         response = yield from self._call(
-            server_id, rpc.UpdateRequest(self.index.name, key, value)
+            server_id, rpc.UpdateRequest(self.index.name, key, value, partition=server_id)
         )
         return response.ok
 
@@ -286,7 +340,7 @@ class CoarseGrainedSession(IndexSession):
         if local is not None:
             return (yield from local.delete(key))
         response = yield from self._call(
-            server_id, rpc.DeleteRequest(self.index.name, key)
+            server_id, rpc.DeleteRequest(self.index.name, key, partition=server_id)
         )
         return response.ok
 

@@ -19,6 +19,12 @@ lease-stamped lock words let surviving clients steal locks from crashed
 holders once ``RetryConfig.lock_lease_s`` elapses (see
 :mod:`repro.index.accessors`); recovery activates only while a
 :class:`~repro.rdma.faults.FaultInjector` is attached to the cluster.
+
+Under replication (``replication_factor > 1``) failover is entirely
+transparent to this design: remote pointers name logical servers, and the
+routed accessors (:class:`RemoteAccessor` / :class:`RemoteRootRef`) fail
+over to the promoted backup on retries-exhausted — no server-resident
+state exists to re-install, so no promotion hooks are needed here.
 """
 
 from __future__ import annotations

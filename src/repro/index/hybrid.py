@@ -51,24 +51,57 @@ _APP = "hybrid"
 # server-side RPC handlers (inner levels only)                                 #
 # --------------------------------------------------------------------------- #
 
-def _tree(server: MemoryServer, index_name: str) -> BLinkTree:
-    return server.app[(_APP, index_name)]
+def _tree(server: MemoryServer, index_name: str, partition: int) -> BLinkTree:
+    """The inner-level tree serving *partition* on *server* (a promoted
+    host serves partitions besides its own; ``partition < 0`` means the
+    server's native one)."""
+    if partition < 0:
+        partition = server.server_id
+    return server.app[(_APP, index_name, partition)]
 
 
 def _handle_traverse(server: MemoryServer, msg: rpc.TraverseRequest):
-    tree = _tree(server, msg.index)
+    tree = _tree(server, msg.index, msg.partition)
     _ptr, node = yield from tree._descend_to_level(msg.key, 1)
     response = rpc.PointerResponse(node.find_child(msg.key))
     return response, response.wire_bytes
 
 
 def _handle_install_separator(server: MemoryServer, msg: rpc.InstallSeparatorRequest):
-    tree = _tree(server, msg.index)
+    tree = _tree(server, msg.index, msg.partition)
     yield from tree._install_separator(
         1, msg.separator, msg.new_child, msg.split_child
     )
     response = rpc.AckResponse()
     return response, response.wire_bytes
+
+
+def _promotion_hook(name: str, roots: Dict[int, RootLocation], page_size: int):
+    """Re-install one partition's inner-level tree on a promoted host.
+
+    Mirrors the coarse-grained hook: the adopted replica region carries the
+    partition's inner pages and allocation high-water mark; leaf pages are
+    unaffected (they live on *all* logical servers and are re-routed by the
+    one-sided accessors individually).
+    """
+    from repro.nam.allocator import PageAllocator
+
+    def hook(logical_id: int, host: MemoryServer, region) -> None:
+        if logical_id not in roots:
+            return
+        allocator = PageAllocator.adopt(region, page_size)
+        host.app[(_APP, name, logical_id)] = BLinkTree(
+            LocalAccessor(
+                host, region=region, logical_id=logical_id, allocator=allocator
+            ),
+            LocalRootRef(host, roots[logical_id], region=region),
+        )
+        host.register_handler(rpc.TraverseRequest, _handle_traverse)
+        host.register_handler(
+            rpc.InstallSeparatorRequest, _handle_install_separator
+        )
+
+    return hook
 
 
 # --------------------------------------------------------------------------- #
@@ -143,7 +176,7 @@ class HybridIndex(DistributedIndex):
             )
             server.region.write_u64(root_location.offset, result.root_raw)
             roots[server_id] = root_location
-            server.app[(_APP, name)] = BLinkTree(
+            server.app[(_APP, name, server_id)] = BLinkTree(
                 LocalAccessor(server), LocalRootRef(server, root_location)
             )
             server.register_handler(rpc.TraverseRequest, _handle_traverse)
@@ -161,14 +194,26 @@ class HybridIndex(DistributedIndex):
                 use_head_nodes=index.use_head_nodes,
             )
         )
+        if cluster.replication is not None:
+            cluster.replication.register_promotion_hook(
+                _promotion_hook(name, roots, config.tree.page_size)
+            )
         return index
 
     def session(self, compute_server: ComputeServer) -> "HybridSession":
         return HybridSession(self, compute_server)
 
     def inner_tree(self, server_id: int) -> BLinkTree:
-        """The server-resident inner-level tree (tests/validation)."""
-        return _tree(self.cluster.memory_server(server_id), self.name)
+        """The server-resident inner-level tree (tests/validation).
+
+        Routed: after a failover the tree lives on the promoted host."""
+        replication = self.cluster.replication
+        host_id = (
+            replication.primary_host_id(server_id)
+            if replication is not None
+            else server_id
+        )
+        return _tree(self.cluster.memory_server(host_id), self.name, server_id)
 
     def gc_tree(self, compute_server: ComputeServer, server_id: int) -> BLinkTree:
         """A one-sided tree handle over partition *server_id* for the
@@ -242,10 +287,20 @@ class HybridSession(IndexSession):
 
     # -- RPC plumbing -------------------------------------------------------------
 
+    def _call(self, server_id: int, request) -> Generator[Any, Any, Any]:
+        def op() -> Generator[Any, Any, Any]:
+            qp = self.compute_server.qp(server_id)
+            return (yield from qp.call(request, request.wire_bytes))
+
+        if self.compute_server.fabric.replication is None:
+            return (yield from op())
+        from repro.nam.replication import failover_retry
+
+        return (yield from failover_retry(self.compute_server, server_id, op))
+
     def _traverse(self, server_id: int, key: int) -> Generator[Any, Any, int]:
-        request = rpc.TraverseRequest(self.index.name, key)
-        qp = self.compute_server.qp(server_id)
-        response = yield from qp.call(request, request.wire_bytes)
+        request = rpc.TraverseRequest(self.index.name, key, partition=server_id)
+        response = yield from self._call(server_id, request)
         return response.raw
 
     def _install_separator_rpc(
@@ -253,10 +308,9 @@ class HybridSession(IndexSession):
     ) -> Generator[Any, Any, None]:
         server_id = self.index.partitioner.server_for_key(sep_key)
         request = rpc.InstallSeparatorRequest(
-            self.index.name, sep_key, new_child, split_child
+            self.index.name, sep_key, new_child, split_child, partition=server_id
         )
-        qp = self.compute_server.qp(server_id)
-        yield from qp.call(request, request.wire_bytes)
+        yield from self._call(server_id, request)
 
     # -- operations ---------------------------------------------------------------
 

@@ -37,6 +37,24 @@ class PageAllocator:
         # The first page holds the control words; pages start after it.
         region.write_u64(ALLOC_WORD_OFFSET, page_size)
 
+    @classmethod
+    def adopt(cls, region: MemoryRegion, page_size: int) -> "PageAllocator":
+        """An allocator over a region that *already contains data* — a
+        promoted backup replica. Unlike ``__init__`` it must not reset the
+        bump word (that would let new allocations overwrite live pages);
+        the replicated bump word keeps allocating where the dead primary
+        left off. The free list starts empty: pages the old primary had
+        freed are leaked rather than risked (GC will re-find them)."""
+        allocator = cls.__new__(cls)
+        allocator.region = region
+        allocator.page_size = page_size
+        allocator._free = []
+        if region.read_u64(ALLOC_WORD_OFFSET) < page_size:
+            # A never-initialized store (nothing was ever replicated into
+            # it); fall back to a fresh layout.
+            region.write_u64(ALLOC_WORD_OFFSET, page_size)
+        return allocator
+
     def allocate(self) -> int:
         """Reserve one page locally; returns its byte offset."""
         if self._free:

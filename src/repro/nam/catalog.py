@@ -46,6 +46,11 @@ class Catalog:
 
     def __init__(self) -> None:
         self._indexes: Dict[str, IndexDescriptor] = {}
+        #: Directory epoch for server indirection. Bumped by the
+        #: replication manager on every failover; compute servers
+        #: re-resolve logical-server routes whenever a cached queue
+        #: pair's epoch lags this value.
+        self.epoch = 0
 
     def register(self, descriptor: IndexDescriptor) -> None:
         if descriptor.name in self._indexes:

@@ -89,6 +89,18 @@ class Cluster:
         self.compute_servers: List[ComputeServer] = []
         #: Set by :meth:`attach_faults`; None means a perfectly reliable fabric.
         self.fault_injector = None
+        #: Primary/backup replication (None when ``replication_factor == 1``,
+        #: leaving every hot path bit-identical to the unreplicated build).
+        self.replication = None
+        if self.config.replication_factor > 1:
+            from repro.nam.replication import ReplicationManager
+
+            self.replication = ReplicationManager(
+                self, self.config.replication_factor
+            )
+            self.fabric.replication = self.replication
+            for server in self.memory_servers:
+                server.replication = self.replication
 
     # -- fault injection --------------------------------------------------------
 

@@ -41,6 +41,7 @@ class ComputeServer:
         #: Kept so accessors can reach the fabric's fault injector (lock
         #: leases are enabled only while one is attached).
         self.fabric = fabric
+        self._colocated = colocated
         self._qps: Dict[int, QueuePair] = {}
         for server in memory_servers:
             local = colocated and server.machine is machine
@@ -49,14 +50,39 @@ class ComputeServer:
             )
 
     def qp(self, server_id: int) -> QueuePair:
-        """The queue pair connected to memory server *server_id*."""
+        """The queue pair connected to *logical* memory server *server_id*.
+
+        Under replication this is a routed lookup: when the directory
+        epoch has advanced since the QP was last resolved, the server-
+        indirection table is consulted and — if the logical server moved
+        to a promoted backup — a fresh QP to the new physical host is
+        built. Without a replication manager the dictionary lookup is all
+        that happens.
+        """
         try:
-            return self._qps[server_id]
+            qp = self._qps[server_id]
         except KeyError:
             raise NetworkError(
                 f"compute server {self.server_id} has no QP to "
                 f"memory server {server_id}"
             ) from None
+        replication = self.fabric.replication
+        if replication is not None and qp.route_epoch != replication.epoch:
+            host, region = replication.route(server_id)
+            if host is not qp.remote or region is not qp.region:
+                local = self._colocated and host.machine is self.machine
+                qp = QueuePair(
+                    self.sim,
+                    self.fabric,
+                    self.port,
+                    host,
+                    use_local_fast_path=local,
+                    region=region,
+                    logical_id=server_id,
+                )
+                self._qps[server_id] = qp
+            qp.route_epoch = replication.epoch
+        return qp
 
     @property
     def num_memory_servers(self) -> int:

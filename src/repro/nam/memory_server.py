@@ -20,6 +20,7 @@ from repro.config import ClusterConfig
 from repro.errors import NetworkError
 from repro.nam.allocator import PageAllocator
 from repro.nam.machine import PhysicalMachine
+from repro.nam.rpc import MUTATING_REQUESTS
 from repro.rdma.memory import MemoryRegion
 from repro.rdma.nic import NicPort
 from repro.rdma.qp import RpcEnvelope
@@ -58,6 +59,12 @@ class MemoryServer:
         #: Set by :meth:`Cluster.attach_faults`; while present, the worker
         #: loop honors crash windows and at-most-once RPC semantics.
         self.injector = None
+        #: Backup replica stores hosted here, keyed by the logical server
+        #: id they replicate (``replication_factor > 1`` only).
+        self.backup_regions: Dict[int, MemoryRegion] = {}
+        #: Set by the cluster when replication is enabled; worker loops
+        #: then charge mirror legs for mutating RPCs before acking.
+        self.replication = None
         #: Index-design state keyed by (design, index name) — e.g. the
         #: server-local B-link trees the RPC handlers operate on.
         self.app: Dict[Any, Any] = {}
@@ -133,8 +140,35 @@ class MemoryServer:
                     f"memory server {self.server_id} has no handler for "
                     f"{type(envelope.payload).__name__}"
                 )
-            response, wire_bytes = yield from handler(self, envelope.payload)
+            try:
+                response, wire_bytes = yield from handler(self, envelope.payload)
+            except Exception:
+                if injector is not None and (
+                    injector.server_down(self.server_id)
+                    or envelope.epoch != injector.crash_epoch(self.server_id)
+                ):
+                    # The server crashed under this worker mid-handler: with
+                    # destructive crashes (replication) the region was wiped
+                    # out from beneath it. The request simply dies with the
+                    # server; the client's retry/failover path covers it.
+                    continue
+                raise
             yield self.cpu_bytes(wire_bytes)
+            replication = self.replication
+            if replication is not None and isinstance(
+                envelope.payload, MUTATING_REQUESTS
+            ):
+                # Mirror-before-ack: the handler's page mutations are
+                # already byte-converged on the backups (synchronous
+                # region mirrors); here the worker charges the wire legs
+                # of shipping the dirtied page before acknowledging, so a
+                # client never holds an ack a failover could lose.
+                logical = getattr(envelope.payload, "partition", -1)
+                if logical < 0:
+                    logical = self.server_id
+                yield from replication.mirror_legs(
+                    logical, self.config.tree.page_size
+                )
             if injector is not None:
                 envelope.qp.rpc_finish(envelope.seq, response, wire_bytes)
             envelope.complete(response, wire_bytes)

@@ -26,6 +26,7 @@ __all__ = [
     "PairsResponse",
     "AckResponse",
     "PointerResponse",
+    "MUTATING_REQUESTS",
 ]
 
 RPC_HEADER_BYTES = 24
@@ -37,6 +38,10 @@ class PointLookupRequest:
 
     index: str
     key: int
+
+    #: Logical partition this request targets; -1 means "the
+    #: server it arrives at" (pre-replication wire compatibility).
+    partition: int = -1
 
     @property
     def wire_bytes(self) -> int:
@@ -51,6 +56,10 @@ class RangeScanRequest:
     low: int
     high: int
 
+    #: Logical partition this request targets; -1 means "the
+    #: server it arrives at" (pre-replication wire compatibility).
+    partition: int = -1
+
     @property
     def wire_bytes(self) -> int:
         return RPC_HEADER_BYTES + 16
@@ -61,6 +70,10 @@ class InsertRequest:
     index: str
     key: int
     value: int
+
+    #: Logical partition this request targets; -1 means "the
+    #: server it arrives at" (pre-replication wire compatibility).
+    partition: int = -1
 
     @property
     def wire_bytes(self) -> int:
@@ -75,6 +88,10 @@ class UpdateRequest:
     key: int
     value: int
 
+    #: Logical partition this request targets; -1 means "the
+    #: server it arrives at" (pre-replication wire compatibility).
+    partition: int = -1
+
     @property
     def wire_bytes(self) -> int:
         return RPC_HEADER_BYTES + 16
@@ -84,6 +101,10 @@ class UpdateRequest:
 class DeleteRequest:
     index: str
     key: int
+
+    #: Logical partition this request targets; -1 means "the
+    #: server it arrives at" (pre-replication wire compatibility).
+    partition: int = -1
 
     @property
     def wire_bytes(self) -> int:
@@ -97,6 +118,10 @@ class TraverseRequest:
 
     index: str
     key: int
+
+    #: Logical partition this request targets; -1 means "the
+    #: server it arrives at" (pre-replication wire compatibility).
+    partition: int = -1
 
     @property
     def wire_bytes(self) -> int:
@@ -112,6 +137,10 @@ class InstallSeparatorRequest:
     separator: int
     new_child: int
     split_child: int
+
+    #: Logical partition this request targets; -1 means "the
+    #: server it arrives at" (pre-replication wire compatibility).
+    partition: int = -1
 
     @property
     def wire_bytes(self) -> int:
@@ -160,3 +189,13 @@ class PointerResponse:
     @property
     def wire_bytes(self) -> int:
         return RPC_HEADER_BYTES + 8
+
+
+#: Request types whose handlers mutate index pages; under replication the
+#: worker loop charges mirror legs for these before acknowledging.
+MUTATING_REQUESTS = (
+    InsertRequest,
+    UpdateRequest,
+    DeleteRequest,
+    InstallSeparatorRequest,
+)

@@ -33,6 +33,10 @@ class Fabric:
         #: attaching one enables message faults, crash windows, retries and
         #: lock-lease recovery cluster-wide.
         self.injector = None
+        #: Optional :class:`repro.nam.replication.ReplicationManager`, set
+        #: by the cluster when ``replication_factor > 1``. While None,
+        #: queue pairs and accessors skip every replication hook.
+        self.replication = None
 
     def attach_injector(self, injector) -> None:
         """Install a fault injector on every queue pair using this fabric."""

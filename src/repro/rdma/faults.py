@@ -53,8 +53,12 @@ __all__ = ["ServerCrash", "ComputeCrash", "FaultPlan", "FaultInjector"]
 @dataclass(frozen=True)
 class ServerCrash:
     """A memory server goes down at ``at_s`` and restarts ``down_for_s``
-    later. While down, every message to or from it is lost, the SRQ is
-    wiped (its crash epoch advances), but the registered region survives."""
+    later. While down, every message to or from it is lost and the SRQ is
+    wiped (its crash epoch advances). Without replication
+    (``replication_factor == 1``) the registered region survives — think
+    battery-backed NVM. With replication the crash is *destructive*: the
+    host's region and every backup copy it held are zeroed, and state
+    comes back only through failover to the surviving replicas."""
 
     server_id: int
     at_s: float
@@ -145,6 +149,7 @@ class FaultInjector:
         self.plan = plan
         self.retry = retry
         self.rng = np.random.default_rng(plan.seed)
+        self._cluster = None
         self._quiesced = False
         self._down: set = set()
         self._crash_epoch: Dict[int, int] = {}
@@ -252,9 +257,25 @@ class FaultInjector:
         self._down.add(server_id)
         self._crash_epoch[server_id] = self.crash_epoch(server_id) + 1
         self.stats["server_crashes"] += 1
+        replication = getattr(self._cluster, "replication", None)
+        if replication is not None:
+            # Destructive crash: wipe every copy hosted here and stop
+            # mirroring into/out of this host until it resyncs.
+            replication.on_crash(server_id)
 
     def restart_memory_server(self, server_id: int) -> None:
         if server_id in self._down:
+            replication = getattr(self._cluster, "replication", None)
+            if replication is not None:
+                # Restore this host's copies from the surviving replicas
+                # before it takes traffic again; the byte copy is instant
+                # (state correctness) while a background process charges
+                # the wire time of the transfer (timing realism).
+                nbytes = replication.resync_host(server_id)
+                if nbytes:
+                    self.sim.process(
+                        replication.background_resync(server_id, nbytes)
+                    )
             self._down.discard(server_id)
             self.stats["server_restarts"] += 1
 

@@ -9,6 +9,17 @@ exact, not estimated.
 
 Regions grow on demand (in fixed chunks) up to a configured maximum, which
 keeps small experiments cheap while allowing large bulk loads.
+
+Replication support: a region may have *mirror* regions attached
+(:meth:`MemoryRegion.attach_mirror`). Every mutation — WRITE and the
+atomics, which route through :meth:`write_u64` — is propagated to the
+mirrors synchronously, byte for byte, so a backup replica is always a
+prefix-exact copy of its primary. The *timing* of replication traffic is
+charged separately by the queue-pair/worker layers
+(:class:`repro.nam.replication.ReplicationManager`); this class only keeps
+the state converged. With no mirrors attached (``replication_factor == 1``)
+the propagation check is a single falsy test and behavior is identical to
+the unreplicated build.
 """
 
 from __future__ import annotations
@@ -34,9 +45,29 @@ class MemoryRegion:
             )
         self._buf = bytearray(initial_bytes)
         self.max_bytes = max_bytes
+        self._mirrors: list = []
 
     def __len__(self) -> int:
         return len(self._buf)
+
+    # -- replication mirrors -------------------------------------------------
+
+    def attach_mirror(self, mirror: "MemoryRegion") -> None:
+        """Propagate every future mutation of this region into *mirror*."""
+        if mirror is self:
+            raise RemoteAccessError("a region cannot mirror itself")
+        if mirror not in self._mirrors:
+            self._mirrors.append(mirror)
+
+    def detach_mirror(self, mirror: "MemoryRegion") -> None:
+        """Stop propagating into *mirror* (no-op if it was not attached)."""
+        if mirror in self._mirrors:
+            self._mirrors.remove(mirror)
+
+    def wipe(self) -> None:
+        """Zero the buffer in place (a destructive crash). Mirror links are
+        managed by the caller; the buffer keeps its current length."""
+        self._buf[:] = bytes(len(self._buf))
 
     def _ensure(self, end: int) -> None:
         if end <= len(self._buf):
@@ -65,6 +96,9 @@ class MemoryRegion:
         end = offset + len(data)
         self._ensure(end)
         self._buf[offset:end] = data
+        if self._mirrors:
+            for mirror in self._mirrors:
+                mirror.write(offset, data)
 
     # -- 8-byte word access (the granularity of RDMA atomics) ----------------
 
@@ -73,8 +107,13 @@ class MemoryRegion:
         return _U64.unpack_from(self._buf, offset)[0]
 
     def write_u64(self, offset: int, value: int) -> None:
+        # CAS and FETCH_AND_ADD mutate through here, so this single hook
+        # (plus :meth:`write`) covers every way a region changes.
         self._ensure(offset + 8)
         _U64.pack_into(self._buf, offset, value & 0xFFFFFFFFFFFFFFFF)
+        if self._mirrors:
+            for mirror in self._mirrors:
+                mirror.write_u64(offset, value)
 
     def compare_and_swap(self, offset: int, expected: int, new: int) -> Tuple[bool, int]:
         """Atomic 8-byte CAS; returns ``(swapped, old_value)``.

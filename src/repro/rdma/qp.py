@@ -91,12 +91,25 @@ class QueuePair:
         local_port: NicPort,
         remote_server: Any,
         use_local_fast_path: bool = False,
+        region: Any = None,
+        logical_id: int = None,
     ) -> None:
         self.sim = sim
         self.fabric = fabric
         self.local_port = local_port
         self.remote = remote_server
         self.is_local = use_local_fast_path
+        # Replication indirection: verbs address the *logical* server's
+        # authoritative region, which after a failover may live on a
+        # different physical host than ``remote_server`` originally did.
+        # Without replication both default to the remote server's own.
+        self.region = region if region is not None else remote_server.region
+        self.logical_id = (
+            logical_id if logical_id is not None else remote_server.server_id
+        )
+        #: Directory epoch this QP's routing was resolved at; compared by
+        #: :meth:`ComputeServer.qp` against the catalog epoch.
+        self.route_epoch = 0
         # At-most-once RPC state (only touched under fault injection).
         self._next_seq = 0
         self._rpc_inflight: set = set()
@@ -128,6 +141,14 @@ class QueuePair:
                 local=self.is_local,
             )
 
+    def _mirror(self, payload_bytes: int) -> Generator[Any, Any, None]:
+        """Replication fan-out after a mutating verb's primary effect: one
+        leg per live backup, charged before the client's completion.
+        A falsy no-op unless a replication manager is attached."""
+        replication = self.fabric.replication
+        if replication is not None and payload_bytes:
+            yield from replication.mirror_legs(self.logical_id, payload_bytes)
+
     def _faulty_onesided(
         self,
         verb: Verb,
@@ -136,12 +157,17 @@ class QueuePair:
         response_bytes: int,
         effect: Callable[[], Any],
         atomic: bool = False,
+        mirror_bytes: Callable[[Any], int] = None,
     ) -> Generator[Any, Any, Any]:
         """Attempt loop for a non-local one-sided verb under fault injection.
 
         *effect* applies the verb against the remote region; it runs when
         the first request is delivered and never again (RC duplicate
         suppression), so retries only re-learn the cached outcome.
+        ``mirror_bytes(result)`` sizes the replication fan-out of a
+        mutating verb (0/None for reads and failed CASes); like the
+        effect, the fan-out happens exactly once, right after the effect
+        and before the response leg — primary-then-backup ordering.
         """
         injector = self.fabric.injector
         retry = injector.retry
@@ -164,6 +190,8 @@ class QueuePair:
             if delivered:
                 if result is _UNSET:
                     result = effect()
+                    if mirror_bytes is not None:
+                        yield from self._mirror(mirror_bytes(result))
                 if atomic:
                     yield self.sim.timeout(config.atomic_extra_latency_s)
                 delay = injector.extra_delay(verb, server_id)
@@ -194,7 +222,7 @@ class QueuePair:
                     length,
                     self.fabric.config.request_wire_bytes,
                     length,
-                    lambda: self.remote.region.read(offset, length),
+                    lambda: self.region.read(offset, length),
                 )
             )
         started_at = self.sim.now
@@ -205,7 +233,7 @@ class QueuePair:
             yield from self._request_leg(self.fabric.config.request_wire_bytes)
             yield from self._response_leg(length)
         self._trace(Verb.READ, length, started_at)
-        return self.remote.region.read(offset, length)
+        return self.region.read(offset, length)
 
     def write(self, offset: int, data: bytes) -> Generator[Any, Any, None]:
         """RDMA WRITE *data* at *offset* of the remote region."""
@@ -216,7 +244,8 @@ class QueuePair:
                     len(data),
                     self.fabric.config.request_wire_bytes + len(data),
                     0,
-                    lambda: self.remote.region.write(offset, data),
+                    lambda: self.region.write(offset, data),
+                    mirror_bytes=lambda _result, n=len(data): n,
                 )
             )
         started_at = self.sim.now
@@ -230,7 +259,8 @@ class QueuePair:
             # Completion (ACK) back to the requester.
             yield from self._response_leg(0)
         self._trace(Verb.WRITE, len(data), started_at)
-        self.remote.region.write(offset, data)
+        self.region.write(offset, data)
+        yield from self._mirror(len(data))
 
     def _atomic_legs(self) -> Generator[Any, Any, None]:
         if self.is_local:
@@ -251,17 +281,19 @@ class QueuePair:
                     8,
                     self.fabric.config.request_wire_bytes + 16,
                     8,
-                    lambda: self.remote.region.compare_and_swap(
-                        offset, expected, new
-                    ),
+                    lambda: self.region.compare_and_swap(offset, expected, new),
                     atomic=True,
+                    mirror_bytes=lambda result: 8 if result[0] else 0,
                 )
             )
         started_at = self.sim.now
         self.remote.stats.record(Verb.CAS, 8)
         yield from self._atomic_legs()
         self._trace(Verb.CAS, 8, started_at)
-        return self.remote.region.compare_and_swap(offset, expected, new)
+        swapped, old = self.region.compare_and_swap(offset, expected, new)
+        if swapped:
+            yield from self._mirror(8)
+        return swapped, old
 
     def fetch_and_add(self, offset: int, delta: int) -> Generator[Any, Any, int]:
         """RDMA FETCH_AND_ADD on the 8-byte word at *offset*; returns old value."""
@@ -272,15 +304,18 @@ class QueuePair:
                     8,
                     self.fabric.config.request_wire_bytes + 16,
                     8,
-                    lambda: self.remote.region.fetch_and_add(offset, delta),
+                    lambda: self.region.fetch_and_add(offset, delta),
                     atomic=True,
+                    mirror_bytes=lambda _result: 8,
                 )
             )
         started_at = self.sim.now
         self.remote.stats.record(Verb.FETCH_ADD, 8)
         yield from self._atomic_legs()
         self._trace(Verb.FETCH_ADD, 8, started_at)
-        return self.remote.region.fetch_and_add(offset, delta)
+        old = self.region.fetch_and_add(offset, delta)
+        yield from self._mirror(8)
+        return old
 
     def read_many(self, requests) -> Generator[Any, Any, list]:
         """Issue several READs in parallel and wait for all of them.

@@ -45,6 +45,11 @@ class RunResult:
     #: Typed-fault counts (``{"TimeoutError_": n, ...}``) for operations
     #: that failed inside the window. Empty unless faults were injected.
     errors: Dict[str, int] = field(default_factory=dict)
+    #: Raw per-operation ``(op_type, start_s, end_s)`` records for the
+    #: whole run (not just the window). Populated only when the runner is
+    #: asked for them (``keep_records=True``) — availability experiments
+    #: use these to plot throughput dips and recovery times around crashes.
+    raw_records: List[Tuple[str, float, float]] = field(default_factory=list)
 
     @property
     def total_ops(self) -> int:

@@ -70,6 +70,7 @@ class WorkloadRunner:
         measure_s: float = 0.02,
         seed: int = 1,
         populations: Optional[Sequence[Tuple[WorkloadSpec, int]]] = None,
+        keep_records: bool = False,
     ) -> RunResult:
         """Execute a workload with closed-loop clients.
 
@@ -80,6 +81,11 @@ class WorkloadRunner:
         Returns a :class:`RunResult` for the measurement window. The same
         cluster can be reused across runs (counters are windowed), but each
         run adds the compute servers it needs.
+
+        With ``keep_records=True`` the result also carries the raw
+        ``(op_type, start, end)`` triples of *every* operation (including
+        warm-up and drain) in :attr:`RunResult.raw_records` — availability
+        experiments slice them into time buckets around a crash.
         """
         if populations is None:
             if spec is None or num_clients is None:
@@ -137,6 +143,8 @@ class WorkloadRunner:
                 else:
                     result.op_counts[op_type] = result.op_counts.get(op_type, 0) + 1
                     result.latencies.setdefault(op_type, []).append(end - start)
+        if keep_records:
+            result.raw_records = list(state.records)
         return result
 
     # ------------------------------------------------------------------ #

@@ -28,6 +28,7 @@ from repro import (
     RetryConfig,
     ServerCrash,
     TimeoutError_,
+    verify_index,
 )
 from repro.errors import ConfigurationError
 from repro.rdma.verbs import Verb
@@ -269,6 +270,8 @@ def test_chaos_workload_never_corrupts_tree(design):
     keys = [key for key, _value in scan]
     assert keys == sorted(keys)
     assert _validate_all(design, cluster, index) > 0
+    report = verify_index(cluster, index)
+    assert report.ok, report.violations
 
 
 def test_acceptance_drop_crash_scan_matches_oracle():
@@ -360,6 +363,9 @@ def test_acceptance_drop_crash_scan_matches_oracle():
         index.tree_for(cluster.new_compute_server()).validate()
     )
     assert stats["entries"] >= len(oracle)
+    report = verify_index(cluster, index)
+    assert report.ok, report.violations
+    assert report.entries >= len(oracle)
 
 
 def test_retry_knobs_come_from_config():

@@ -18,10 +18,17 @@ from repro import (
     FaultPlan,
     FineGrainedIndex,
     RetryConfig,
+    verify_index,
 )
 from repro.btree.pointers import RemotePointer
 from repro.index.accessors import RemoteAccessor
 from repro.workloads import generate_dataset
+
+# The deliberately tight lease below triggers the lease-vs-retry-budget
+# configuration warning; that is the point of these tests, so silence it.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.errors.ConfigurationWarning"
+)
 
 LEASE_S = 0.0005
 
@@ -125,6 +132,8 @@ def test_survivor_steals_lock_and_completes_insert(rig):
         index.tree_for(cluster.new_compute_server()).validate()
     )
     assert stats["entries"] >= 400
+    report = verify_index(cluster, index)
+    assert report.ok, report.violations
 
 
 def test_steal_advances_version_for_optimistic_readers(rig):
@@ -181,3 +190,8 @@ def test_scheduled_compute_crash_during_workload(rig):
     )
     assert stats["entries"] >= 400 + 4 * 150
     assert injector.stats["killed_processes"] == 2
+    # The online verifier agrees — and lease-steals any lock the killed
+    # clients left behind along the way.
+    report = verify_index(cluster, index)
+    assert report.ok, report.violations
+    assert report.entries >= 400 + 4 * 150

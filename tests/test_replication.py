@@ -1,0 +1,416 @@
+"""Primary/backup replication: placement, mirroring, failover, recovery.
+
+The contract under ``replication_factor=k > 1``:
+
+* every logical server's region is byte-converged onto ``k - 1`` backups
+  in ring order, the moment a mutation lands (synchronous state mirrors;
+  the wire cost is charged separately as mirror legs);
+* a memory-server crash is *destructive* — every copy the host held is
+  wiped — yet no acknowledged write is lost: clients fail over to a
+  promoted backup and keep going;
+* with ``replication_factor == 1`` no manager exists at all and behavior
+  (including the non-destructive crash semantics of the fault layer) is
+  simulation-identical to the unreplicated build.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    CoarseGrainedIndex,
+    ConfigurationWarning,
+    FailoverError,
+    FaultPlan,
+    FineGrainedIndex,
+    HybridIndex,
+    ReplicaDivergenceError,
+    RetryConfig,
+    ServerCrash,
+    verify_index,
+)
+from repro.errors import ConfigurationError
+from repro.nam.allocator import PageAllocator
+from repro.rdma.memory import MemoryRegion
+from repro.workloads import generate_dataset
+
+DESIGNS = ("coarse-grained", "fine-grained", "hybrid")
+
+
+def _build(design, cluster, pairs, key_space):
+    if design == "coarse-grained":
+        return CoarseGrainedIndex.build(cluster, "idx", pairs, key_space=key_space)
+    if design == "fine-grained":
+        return FineGrainedIndex.build(cluster, "idx", pairs)
+    return HybridIndex.build(cluster, "idx", pairs, key_space=key_space)
+
+
+def _replicated_cluster(factor=2, num_servers=3, seed=23):
+    return Cluster(
+        ClusterConfig(
+            num_memory_servers=num_servers,
+            memory_servers_per_machine=1,
+            replication_factor=factor,
+            seed=seed,
+        )
+    )
+
+
+class TestConfigValidation:
+    def test_factor_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(replication_factor=0)
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(num_memory_servers=2, replication_factor=3)
+        # factor == num_servers is the maximum legal setting.
+        ClusterConfig(num_memory_servers=2, replication_factor=2)
+
+    def test_tight_lease_warns(self):
+        with pytest.warns(ConfigurationWarning, match="retry budget"):
+            RetryConfig(lock_lease_s=1e-5)
+
+    def test_default_lease_is_comfortable(self, recwarn):
+        retry = RetryConfig()
+        assert retry.lock_lease_s >= 2.0 * retry.retry_budget_s
+        assert not [
+            w for w in recwarn if issubclass(w.category, ConfigurationWarning)
+        ]
+
+    def test_retry_budget_formula(self):
+        retry = RetryConfig(
+            max_attempts=2, timeout_s=10e-6, base_delay_s=4e-6,
+            backoff_multiplier=2.0, jitter_fraction=0.0,
+        )
+        # 2 * (10us + 4us * 2**1) = 36us
+        assert retry.retry_budget_s == pytest.approx(36e-6)
+
+
+class TestPlacementAndMirroring:
+    def test_ring_placement(self):
+        cluster = _replicated_cluster(factor=2, num_servers=3)
+        replication = cluster.replication
+        assert replication is not None
+        for logical in range(3):
+            copies = replication.replica_set(logical)
+            assert [c.host_id for c in copies] == [logical, (logical + 1) % 3]
+            assert all(c.live for c in copies)
+            backup_host = cluster.memory_server((logical + 1) % 3)
+            assert backup_host.backup_regions[logical] is copies[1].region
+
+    def test_factor_one_has_no_manager(self):
+        cluster = Cluster(ClusterConfig(num_memory_servers=3, seed=23))
+        assert cluster.replication is None
+        assert all(
+            not server.backup_regions for server in cluster.memory_servers
+        )
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_build_converges_replicas(self, design):
+        cluster = _replicated_cluster()
+        dataset = generate_dataset(800, gap=4)
+        _build(design, cluster, dataset.pairs(), dataset.key_space)
+        cluster.replication.assert_replicas_converged()
+
+    def test_mutations_stay_converged_and_charge_mirror_legs(self):
+        cluster = _replicated_cluster()
+        dataset = generate_dataset(500, gap=4)
+        index = FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+        session = index.session(cluster.new_compute_server())
+        before = cluster.replication.stats["mirror_legs"]
+        for i in range(50):
+            cluster.execute(session.insert(dataset.key_space + i, i))
+        cluster.replication.assert_replicas_converged()
+        assert cluster.replication.stats["mirror_legs"] > before
+        assert cluster.replication.stats["mirrored_bytes"] > 0
+
+    def test_divergence_detected(self):
+        cluster = _replicated_cluster()
+        dataset = generate_dataset(300, gap=4)
+        FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+        replication = cluster.replication
+        backup = replication.replica_set(0)[1]
+        original = backup.region.read(64, 1)
+        backup.region.write(64, bytes([original[0] ^ 0xFF]))
+        problems = replication.replica_divergences(0)
+        assert problems and "byte 64" in problems[0]
+        with pytest.raises(ReplicaDivergenceError):
+            replication.assert_replicas_converged()
+        # Repair and the check passes again.
+        backup.region.write(64, original)
+        replication.assert_replicas_converged()
+
+
+class TestAllocatorAdopt:
+    def test_adopt_preserves_allocations(self):
+        region = MemoryRegion(1 << 16, 1 << 20)
+        allocator = PageAllocator(region, 512)
+        offsets = [allocator.allocate() for _ in range(5)]
+        adopted = PageAllocator.adopt(region, 512)
+        # The bump word survives: new allocations never overlap old pages.
+        fresh = adopted.allocate()
+        assert fresh not in offsets
+        assert fresh > max(offsets)
+
+    def test_adopt_fresh_region_initializes(self):
+        region = MemoryRegion(1 << 16, 1 << 20)
+        adopted = PageAllocator.adopt(region, 512)
+        first = adopted.allocate()
+        assert first >= 512  # page 0 stays reserved for control words
+
+
+class TestCrashSemantics:
+    def test_replicated_crash_is_destructive(self):
+        cluster = _replicated_cluster()
+        dataset = generate_dataset(400, gap=4)
+        FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+        injector = cluster.attach_faults(FaultPlan())
+        victim = cluster.memory_server(1)
+        assert any(victim.region.read(0, 4096))
+        injector.crash_memory_server(1)
+        # The host's own region AND the backup store it held are wiped.
+        backup_store = victim.backup_regions[0]
+        assert not any(victim.region.read(0, len(victim.region)))
+        assert not any(backup_store.read(0, len(backup_store)))
+        assert cluster.replication.stats["wiped_copies"] == 2
+        copies = cluster.replication.replica_set(1)
+        assert not copies[0].live and copies[1].live
+
+    def test_unreplicated_crash_preserves_region(self):
+        # factor == 1 keeps PR 1's non-destructive semantics byte-for-byte:
+        # the region survives the outage (only availability is lost).
+        cluster = Cluster(
+            ClusterConfig(num_memory_servers=2, memory_servers_per_machine=1, seed=23)
+        )
+        dataset = generate_dataset(400, gap=4)
+        FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+        injector = cluster.attach_faults(FaultPlan())
+        victim = cluster.memory_server(1)
+        snapshot = victim.region.read(0, len(victim.region))
+        injector.crash_memory_server(1)
+        assert victim.region.read(0, len(victim.region)) == snapshot
+        injector.restart_memory_server(1)
+        assert victim.region.read(0, len(victim.region)) == snapshot
+
+    def test_restart_resyncs_from_survivors(self):
+        cluster = _replicated_cluster()
+        dataset = generate_dataset(400, gap=4)
+        index = FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+        injector = cluster.attach_faults(FaultPlan())
+        injector.crash_memory_server(1)
+        # Mutate while the host is down so the resync has fresh state.
+        session = index.session(cluster.new_compute_server())
+        for i in range(20):
+            cluster.execute(session.insert(dataset.key_space + i, i))
+        injector.restart_memory_server(1)
+        cluster.run(until=cluster.now + 0.05)
+        assert cluster.replication.stats["resynced_copies"] >= 1
+        assert cluster.replication.stats["resynced_bytes"] > 0
+        cluster.replication.assert_replicas_converged()
+
+
+class TestFailover:
+    def test_promote_reroutes_and_bumps_epoch(self):
+        cluster = _replicated_cluster()
+        dataset = generate_dataset(400, gap=4)
+        FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+        injector = cluster.attach_faults(FaultPlan())
+        replication = cluster.replication
+        epoch = replication.epoch
+        injector.crash_memory_server(1)
+        replication.promote(1)
+        assert replication.epoch == epoch + 1
+        assert replication.primary_host_id(1) == 2
+        host, region = replication.route(1)
+        assert host.server_id == 2
+        assert region is cluster.memory_server(2).backup_regions[1]
+        # A compute server's QP for logical 1 now terminates at host 2.
+        compute = cluster.new_compute_server()
+        qp = compute.qp(1)
+        assert qp.region is region
+
+    def test_client_driven_failover(self):
+        cluster = _replicated_cluster()
+        dataset = generate_dataset(600, gap=4)
+        index = FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+        injector = cluster.attach_faults(FaultPlan())
+        session = index.session(cluster.new_compute_server())
+        injector.crash_memory_server(1)
+        # Lookups spanning all partitions: the first one that hits the dead
+        # primary exhausts retries, promotes, and every later op re-routes.
+        for i in range(0, dataset.num_keys, 97):
+            assert cluster.execute(session.lookup(dataset.key_at(i))) == [i]
+        assert cluster.replication.stats["failovers"] >= 1
+        assert injector.stats["retries"] > 0
+
+    def test_failover_error_when_no_replica_left(self):
+        cluster = _replicated_cluster(factor=2, num_servers=2)
+        dataset = generate_dataset(300, gap=4)
+        index = FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+        injector = cluster.attach_faults(FaultPlan())
+        injector.crash_memory_server(0)
+        injector.crash_memory_server(1)
+        session = index.session(cluster.new_compute_server())
+        with pytest.raises(FailoverError):
+            cluster.execute(session.lookup(dataset.key_at(5)))
+
+    def test_re_replication_restores_factor(self):
+        cluster = _replicated_cluster(factor=2, num_servers=4)
+        dataset = generate_dataset(400, gap=4)
+        index = FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+        injector = cluster.attach_faults(FaultPlan())
+        injector.crash_memory_server(1)
+        session = index.session(cluster.new_compute_server())
+        for i in range(0, dataset.num_keys, 61):
+            assert cluster.execute(session.lookup(dataset.key_at(i))) == [i]
+        cluster.run(until=cluster.now + 0.05)
+        assert cluster.replication.stats["re_replications"] >= 1
+        live = [
+            c for c in cluster.replication.replica_set(1) if c.live
+        ]
+        assert len(live) >= 2
+        cluster.replication.assert_replicas_converged()
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_crash_loses_no_acknowledged_write(design):
+    """The headline acceptance scenario: destructively crash a memory
+    server mid-workload at factor 2; every write acknowledged before,
+    during, or after the outage must survive, the verifier must pass, and
+    the replicas must be byte-converged."""
+    cluster = _replicated_cluster(factor=2, num_servers=3)
+    dataset = generate_dataset(800, gap=4)
+    index = _build(design, cluster, dataset.pairs(), dataset.key_space)
+    injector = cluster.attach_faults(FaultPlan())
+    session = index.session(cluster.new_compute_server())
+
+    acked = []
+
+    def insert_batch(start, count):
+        # Fresh keys interleaved across the whole key range (the dataset
+        # leaves gaps), so every batch touches every partition — including
+        # the victim's.
+        for i in range(start, start + count):
+            key = dataset.key_at(i * 6) + 1
+            cluster.execute(session.insert(key, key * 10))
+            acked.append(key)
+
+    insert_batch(0, 40)  # healthy cluster
+    injector.crash_memory_server(1)
+    insert_batch(40, 40)  # during the outage: failover path
+    injector.restart_memory_server(1)
+    cluster.run(until=cluster.now + 0.05)
+    insert_batch(80, 40)  # after resync
+    injector.quiesce()
+
+    lost = [
+        key
+        for key in acked
+        if cluster.execute(session.lookup(key)) != [key * 10]
+    ]
+    assert not lost
+    assert cluster.replication.stats["failovers"] >= 1
+    report = verify_index(cluster, index)
+    assert report.ok, report.violations
+    assert report.entries >= dataset.num_keys + len(acked)
+    cluster.replication.assert_replicas_converged()
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_scheduled_crash_under_workload(design):
+    """Same guarantee via the scheduled-crash plan: concurrent clients keep
+    writing across a crash/restart window; acknowledged inserts survive."""
+    cluster = _replicated_cluster(factor=2, num_servers=3, seed=29)
+    dataset = generate_dataset(600, gap=4)
+    index = _build(design, cluster, dataset.pairs(), dataset.key_space)
+    injector = cluster.attach_faults(
+        FaultPlan(
+            seed=7,
+            server_crashes=(ServerCrash(1, at_s=0.0005, down_for_s=0.002),),
+        )
+    )
+
+    acked = []
+
+    def writer(cid, count):
+        session = index.session(cluster.new_compute_server())
+        for i in range(count):
+            # Interleave fresh keys across the range so every client
+            # writes to every partition, including the victim's.
+            key = dataset.key_at((cid + i * 4) % dataset.num_keys) + 1
+            yield from session.insert(key, cid * 1_000_000 + i)
+            acked.append((key, cid * 1_000_000 + i))
+
+    procs = [cluster.spawn(writer(cid, 60)) for cid in range(4)]
+    cluster.sim.run_until_complete(cluster.sim.all_of(procs))
+    assert injector.stats["server_crashes"] == 1
+    cluster.run(until=max(cluster.now, 0.003) + 0.01)
+    assert injector.stats["server_restarts"] == 1
+    injector.quiesce()
+
+    session = index.session(cluster.new_compute_server())
+    for key, value in acked:
+        assert value in cluster.execute(session.lookup(key))
+    report = verify_index(cluster, index)
+    assert report.ok, report.violations
+    cluster.replication.assert_replicas_converged()
+
+
+def test_factor_one_is_simulation_identical_to_baseline():
+    """replication_factor=1 must not perturb the simulation at all: same
+    results, same completion times, same network counters as the default
+    config."""
+    outcomes = []
+    for factor in (None, 1):
+        config = ClusterConfig(num_memory_servers=2, seed=31)
+        if factor is not None:
+            config = config.with_(replication_factor=factor)
+        cluster = Cluster(config)
+        dataset = generate_dataset(500, gap=4)
+        index = FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+        session = index.session(cluster.new_compute_server())
+        trace = []
+        for i in range(60):
+            key = dataset.key_at(i * 11 % dataset.num_keys)
+            trace.append((cluster.execute(session.lookup(key)), cluster.now))
+            cluster.execute(session.insert(key + 1, i))
+            trace.append(cluster.now)
+        trace.append(cluster.execute(session.range_scan(0, 400)))
+        outcomes.append(trace)
+    assert outcomes[0] == outcomes[1]
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_verifier_passes_on_healthy_index(design):
+    cluster = Cluster(ClusterConfig(num_memory_servers=2, seed=17))
+    dataset = generate_dataset(700, gap=4)
+    index = _build(design, cluster, dataset.pairs(), dataset.key_space)
+    report = verify_index(cluster, index, strict_orphans=True)
+    assert report.ok, report.violations
+    assert report.entries == dataset.num_keys
+    assert report.nodes > report.leaves > 0
+    assert report.replicas_checked == 0  # no replication configured
+    assert "OK" in report.summary()
+
+
+def test_verifier_detects_corruption():
+    cluster = Cluster(ClusterConfig(num_memory_servers=2, seed=17))
+    dataset = generate_dataset(700, gap=4)
+    index = FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+    tree = index.tree_for(cluster.new_compute_server())
+    # Swap two keys in a leaf so its entries are no longer sorted.
+    from repro.btree.node import Node
+    from repro.btree.pointers import RemotePointer
+
+    raw_ptr, _ = cluster.execute(tree._descend_to_level(dataset.key_at(0), 0))
+    pointer = RemotePointer.from_raw(raw_ptr)
+    page_size = cluster.config.tree.page_size
+    region = cluster.memory_server(pointer.server_id).region
+    node = Node.from_bytes(region.read(pointer.offset, page_size))
+    assert node.count >= 2
+    node.keys[0], node.keys[1] = node.keys[1], node.keys[0]
+    region.write(pointer.offset, node.to_bytes(page_size))
+    report = verify_index(cluster, index)
+    assert not report.ok
+    assert any("sorted" in violation for violation in report.violations)
