@@ -1,0 +1,36 @@
+"""namsan — static invariant linter + happens-before race sanitizer.
+
+Two engines keep the simulated RDMA fabric honest:
+
+* the **linter** (:mod:`repro.analysis.namsan.linter`) enforces rules
+  N01-N05 over the source tree with pure ``ast`` analysis — seeded
+  determinism, lock acquire/release pairing, accessor-only region
+  access, the closed error taxonomy, and no swallowed fault errors;
+
+* the **sanitizer** (:mod:`repro.analysis.namsan.sanitizer`) replays a
+  trace of remote-memory access events through a vector-clock
+  happens-before model and reports TSan-style data races between
+  unsynchronized remote writes.
+
+``python -m repro.namsan`` exposes both from the command line, and the
+``--namsan`` pytest flag (see :mod:`repro.analysis.namsan.pytest_plugin`)
+runs the sanitizer automatically over every cluster a test builds.
+
+See ``docs/namsan.md`` for the rule catalog and the race-detector model.
+"""
+
+from repro.analysis.namsan.events import AccessEvent, TraceCollector
+from repro.analysis.namsan.linter import Violation, lint_file, lint_paths, lint_source
+from repro.analysis.namsan.sanitizer import RaceDetector, RaceReport, detect_races
+
+__all__ = [
+    "AccessEvent",
+    "TraceCollector",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "RaceDetector",
+    "RaceReport",
+    "detect_races",
+]

@@ -1,0 +1,129 @@
+"""``python -m repro.namsan`` — lint source trees, sanitize verb traces.
+
+Two subcommands::
+
+    python -m repro.namsan lint src/repro            # rules N01-N05
+    python -m repro.namsan sanitize trace.jsonl      # race detection
+
+Exit status: 0 clean, 1 violations/races found, 2 unusable input. With
+``--github``, findings are also printed as GitHub Actions workflow
+commands (``::error file=...``) so CI runs annotate the diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.analysis.namsan.events import load_trace, resequence
+from repro.analysis.namsan.linter import RULE_IDS, Violation, lint_paths
+from repro.analysis.namsan.rules import RULES
+from repro.analysis.namsan.sanitizer import RaceDetector
+from repro.errors import AnalysisError
+
+__all__ = ["main"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def _github_escape(message: str) -> str:
+    return (
+        message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _annotate_violation(violation: Violation) -> str:
+    return (
+        f"::error file={violation.path},line={violation.line},"
+        f"col={violation.col + 1},title=namsan {violation.rule}::"
+        f"{_github_escape(violation.message)}"
+    )
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    rules = None
+    if args.rules:
+        rules = [token.strip() for token in args.rules.split(",") if token.strip()]
+    violations = lint_paths(args.paths, rules=rules)
+    for violation in violations:
+        print(violation.describe())
+        if args.github:
+            print(_annotate_violation(violation))
+    checked = ", ".join(rules if rules is not None else RULE_IDS)
+    if violations:
+        print(f"[namsan lint] {len(violations)} violation(s) ({checked})")
+        return EXIT_FINDINGS
+    print(f"[namsan lint] OK ({checked})")
+    return EXIT_CLEAN
+
+
+def _run_sanitize(args: argparse.Namespace) -> int:
+    events = resequence(load_trace(args.trace))
+    detector = RaceDetector(report_read_races=args.read_races)
+    detector.feed_all(events)
+    for index, race in enumerate(detector.races, start=1):
+        print(f"race #{index}: {race.describe()}")
+        if args.github:
+            print(
+                f"::error title=namsan race #{index}::"
+                f"{_github_escape(race.describe())}"
+            )
+    print(detector.summary())
+    return EXIT_FINDINGS if detector.races else EXIT_CLEAN
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.namsan",
+        description="namsan: static invariant linter + remote-memory race "
+        "sanitizer for the repro RDMA fabric",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rule_help = "; ".join(
+        f"{rule}: {description}" for rule, (_checker, description) in RULES.items()
+    )
+    lint = sub.add_parser(
+        "lint", help="run rules N01-N05 over source files/directories"
+    )
+    lint.add_argument("paths", nargs="+", help="files or directories to lint")
+    lint.add_argument(
+        "--rules",
+        help=f"comma-separated rule subset (default all; N02: lock pairing; {rule_help})",
+    )
+    lint.add_argument(
+        "--github",
+        action="store_true",
+        help="also emit GitHub Actions ::error annotations",
+    )
+    lint.set_defaults(run=_run_lint)
+
+    sanitize = sub.add_parser(
+        "sanitize", help="replay a JSONL verb trace through the race detector"
+    )
+    sanitize.add_argument("trace", help="trace file written by TraceCollector.dump")
+    sanitize.add_argument(
+        "--read-races",
+        action="store_true",
+        help="also report plain read/write races (off: optimistic readers "
+        "validate versions and are exempt by design)",
+    )
+    sanitize.add_argument(
+        "--github",
+        action="store_true",
+        help="also emit GitHub Actions ::error annotations",
+    )
+    sanitize.set_defaults(run=_run_sanitize)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.run(args)
+    except AnalysisError as exc:
+        print(f"[namsan] error: {exc}")
+        return EXIT_ERROR

@@ -1,0 +1,164 @@
+"""Driver for the namsan lint pass: rule scoping, suppressions, reporting.
+
+Scoping mirrors the architecture, not a config file:
+
+* **N01** (determinism) applies to the simulated system itself —
+  ``repro/{sim,nam,rdma,index,btree}``. Experiment drivers and reporting
+  may read wall clocks; the machinery that produces results may not.
+* **N02** (lock pairing) applies wherever ``try_lock`` is called.
+* **N03** (region access) applies to ``repro/{index,btree}`` except the
+  accessor layer itself (``index/accessors.py``), which exists to be the
+  one place that touches buffers.
+* **N04/N05** apply to all of ``repro``.
+
+A finding on a line carrying ``# namsan: allow[N03]`` (comma-separated
+ids, or ``allow[*]``) is suppressed — grep-able, per-line, per-rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.namsan.lockcheck import check_lock_pairing
+from repro.analysis.namsan.rules import RULES
+from repro.errors import AnalysisError
+
+__all__ = ["Violation", "lint_source", "lint_file", "lint_paths", "RULE_IDS"]
+
+RULE_IDS = ("N01", "N02", "N03", "N04", "N05")
+
+_N01_PACKAGES = ("sim", "nam", "rdma", "index", "btree")
+_N03_PACKAGES = ("index", "btree")
+
+_ALLOW_RE = re.compile(r"#\s*namsan:\s*allow\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def _repro_parts(path: str) -> Tuple[str, ...]:
+    """Path components below the last ``repro`` directory (or all of them
+    if the path is not inside a ``repro`` tree — fixtures use explicit
+    pretend paths like ``src/repro/index/x.py`` to opt into scoping)."""
+    parts = tuple(part for part in path.replace(os.sep, "/").split("/") if part)
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return parts[index + 1 :]
+    return parts
+
+
+def _rules_for(path: str, rules: Optional[Sequence[str]]) -> List[str]:
+    parts = _repro_parts(path)
+    package = parts[0] if len(parts) > 1 else ""
+    filename = parts[-1] if parts else ""
+    selected: List[str] = []
+    for rule in RULE_IDS:
+        if rules is not None and rule not in rules:
+            continue
+        if rule == "N01" and package not in _N01_PACKAGES:
+            continue
+        if rule == "N03" and (
+            package not in _N03_PACKAGES or filename == "accessors.py"
+        ):
+            continue
+        selected.append(rule)
+    return selected
+
+
+def _suppressed(lines: List[str], violation: Violation) -> bool:
+    if not 1 <= violation.line <= len(lines):
+        return False
+    match = _ALLOW_RE.search(lines[violation.line - 1])
+    if match is None:
+        return False
+    allowed = {token.strip() for token in match.group(1).split(",")}
+    return "*" in allowed or violation.rule in allowed
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Lint one module's *source*; *path* drives rule scoping and appears
+    in the report. *rules* restricts to a subset of rule ids (validated)."""
+    if rules is not None:
+        unknown = [rule for rule in rules if rule not in RULE_IDS]
+        if unknown:
+            raise AnalysisError(f"unknown lint rule(s): {', '.join(unknown)}")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise AnalysisError(f"{path}: cannot parse: {exc}") from None
+    lines = source.splitlines()
+    violations: List[Violation] = []
+    selected = _rules_for(path, rules)
+    for rule in selected:
+        if rule == "N02":
+            found = [(line, 0, message) for line, message in check_lock_pairing(tree)]
+        else:
+            checker, _description = RULES[rule]
+            found = checker(tree, lines)
+        for line, col, message in found:
+            violation = Violation(rule, path, line, col, message)
+            if not _suppressed(lines, violation):
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.line, v.col, v.rule))
+    return violations
+
+
+def lint_file(
+    path: str,
+    rules: Optional[Sequence[str]] = None,
+    pretend_path: Optional[str] = None,
+) -> List[Violation]:
+    """Lint the file at *path*. *pretend_path*, when given, is used for
+    scoping and reporting instead — how the fixture tests lint a snippet
+    in ``tests/namsan_fixtures/`` *as if* it lived under ``src/repro``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise AnalysisError(f"{path}: unreadable: {exc}") from None
+    return lint_source(source, pretend_path or path, rules=rules)
+
+
+def _python_files(root: str) -> Iterable[str]:
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Lint every ``.py`` file under *paths* (files or directories)."""
+    violations: List[Violation] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for filename in _python_files(path):
+                violations.extend(lint_file(filename, rules=rules))
+        else:
+            violations.extend(lint_file(path, rules=rules))
+    return violations

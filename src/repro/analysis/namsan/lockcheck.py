@@ -1,0 +1,397 @@
+"""N02 — every remote-lock acquire must release on all control-flow paths.
+
+An abstract interpreter over function bodies. The lock protocol in this
+codebase has a fixed shape (the paper's Listings 2-4)::
+
+    locked = yield from self.acc.try_lock(raw_ptr, node.version)
+    if not locked:
+        ...          # lock NOT held on this branch
+        return False
+    ...              # lock held from here on
+    yield from self.acc.unlock_write(raw_ptr, node)   # or unlock_nochange
+
+The checker tracks a single symbolic lock (writers lock exactly one node
+at a time) through assignments, conditionals on the acquire result,
+loops, and try/finally, and reports any function exit — ``return``,
+``raise``, ``break``/``continue`` (a loop-back re-acquires), or falling
+off the end — that can be reached with the lock still held.
+
+Releases are recognized by attribute name (``unlock_write`` /
+``unlock_nochange``) *or* by calling a local function that itself
+releases on every path (e.g. ``self._split_and_insert(...)``, which
+always writes-and-unlocks the node it was handed); that delegate set is
+computed in a first pass over the module.
+
+Deliberate scope limits (documented in docs/namsan.md): the walk follows
+explicit control flow only. Exceptions *propagating out of calls* inside
+a critical section are not modeled — at runtime those are covered by the
+lock-lease recovery protocol, which is itself exercised by the chaos
+suite. Accessor implementations (functions named ``try_lock`` /
+``unlock_*``) and pure delegations (``return ...try_lock(...)``) are
+exempt: they forward the caller's responsibility, not acquire for
+themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Set, Tuple
+
+__all__ = ["check_lock_pairing", "releasing_functions"]
+
+ACQUIRE_NAMES = {"try_lock"}
+RELEASE_NAMES = {"unlock_write", "unlock_nochange"}
+#: Functions whose *name* marks them as accessor-layer implementations.
+IMPLEMENTATION_NAMES = ACQUIRE_NAMES | RELEASE_NAMES
+
+
+@dataclass
+class _State:
+    """One abstract path: is the lock held, and which variable holds a
+    not-yet-branched try_lock result?"""
+
+    held: Optional[int] = None          # acquire line number, or None
+    pending: Optional[Tuple[str, int]] = None  # (variable, acquire line)
+
+    def fork(self) -> "_State":
+        return replace(self)
+
+
+@dataclass
+class _Exit:
+    kind: str          # "return" | "raise" | "break" | "continue" | "fall"
+    state: _State
+    line: int
+
+
+@dataclass
+class _Report:
+    violations: List[Tuple[int, str]] = field(default_factory=list)
+
+    def add(self, line: int, message: str) -> None:
+        self.violations.append((line, message))
+
+
+def _call_name(node: ast.AST) -> Optional[str]:
+    """The trailing attribute/function name of a call, if any."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _calls_in(node: ast.AST) -> List[str]:
+    return [
+        name
+        for call in ast.walk(node)
+        for name in (_call_name(call),)
+        if name is not None
+    ]
+
+
+def _contains_acquire(node: ast.AST) -> Optional[int]:
+    for call in ast.walk(node):
+        name = _call_name(call)
+        if name in ACQUIRE_NAMES:
+            return call.lineno
+    return None
+
+
+def _contains_release(node: ast.AST, delegates: Set[str]) -> bool:
+    return any(
+        name in RELEASE_NAMES or name in delegates for name in _calls_in(node)
+    )
+
+
+class _FunctionChecker:
+    def __init__(self, func: ast.FunctionDef, delegates: Set[str]) -> None:
+        self.func = func
+        self.delegates = delegates
+        self.report = _Report()
+
+    # -- statement walk ------------------------------------------------------
+
+    def run(self) -> List[Tuple[int, str]]:
+        exits = self._walk_block(self.func.body, _State())
+        for exit_ in exits:
+            if exit_.kind in ("break", "continue"):
+                # Loop control at function top level is a syntax error;
+                # treat defensively as a fall-through.
+                exit_ = _Exit("fall", exit_.state, exit_.line)
+            self._check_resolved(exit_.state, exit_.line, f"at {exit_.kind}")
+        return self.report.violations
+
+    def _check_resolved(self, state: _State, line: int, where: str) -> None:
+        if state.held is not None:
+            self.report.add(
+                line,
+                f"lock acquired at line {state.held} may still be held {where}",
+            )
+        elif state.pending is not None:
+            variable, acquired = state.pending
+            self.report.add(
+                line,
+                f"try_lock result '{variable}' (line {acquired}) never "
+                f"checked/released before {where}",
+            )
+
+    def _walk_block(self, stmts: List[ast.stmt], state: _State) -> List[_Exit]:
+        """Process *stmts* for every live path; returns all exits (paths
+        ending in return/raise/break/continue plus the fall-throughs)."""
+        live = [state]
+        exits: List[_Exit] = []
+        for stmt in stmts:
+            next_live: List[_State] = []
+            for path in live:
+                stmt_exits = self._walk_stmt(stmt, path)
+                for exit_ in stmt_exits:
+                    if exit_.kind == "fall":
+                        next_live.append(exit_.state)
+                    else:
+                        exits.append(exit_)
+            live = next_live
+            if not live:
+                break
+        last_line = stmts[-1].lineno if stmts else self.func.lineno
+        exits.extend(_Exit("fall", path, last_line) for path in live)
+        return exits
+
+    def _walk_stmt(self, stmt: ast.stmt, state: _State) -> List[_Exit]:
+        line = stmt.lineno
+        if isinstance(stmt, ast.Return):
+            # `return (yield from acc.try_lock(...))` is a delegating
+            # wrapper: the acquire belongs to the caller.
+            if stmt.value is not None:
+                self._apply_effects(stmt.value, state, ignore_acquire=True)
+            return [_Exit("return", state, line)]
+        if isinstance(stmt, ast.Raise):
+            return [_Exit("raise", state, line)]
+        if isinstance(stmt, ast.Break):
+            return [_Exit("break", state, line)]
+        if isinstance(stmt, ast.Continue):
+            return [_Exit("continue", state, line)]
+        if isinstance(stmt, ast.If):
+            return self._walk_if(stmt, state)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._walk_loop(stmt, state)
+        if isinstance(stmt, ast.Try):
+            return self._walk_try(stmt, state)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._apply_effects(item.context_expr, state)
+            return self._walk_block(stmt.body, state)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return [_Exit("fall", state, line)]  # nested defs are separate scopes
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = stmt.value
+            if value is not None:
+                acquired_line = self._apply_effects(value, state)
+                if acquired_line is not None:
+                    target = self._single_name_target(stmt)
+                    if target is not None:
+                        if state.held is not None or state.pending is not None:
+                            self.report.add(
+                                acquired_line,
+                                "second try_lock while a lock is already "
+                                "held/pending (writers lock one node at a time)",
+                            )
+                        state.pending = (target, acquired_line)
+                    else:
+                        # Result not captured in a simple variable:
+                        # assume the lock is held unconditionally.
+                        state.held = acquired_line
+            return [_Exit("fall", state, line)]
+        if isinstance(stmt, ast.Expr):
+            acquired_line = self._apply_effects(stmt.value, state)
+            if acquired_line is not None:
+                # Acquire whose result is discarded: held, success unchecked.
+                state.held = acquired_line
+            return [_Exit("fall", state, line)]
+        # Anything else (pass, assert, import, global, delete...) — scan
+        # for effects conservatively.
+        self._apply_effects(stmt, state)
+        return [_Exit("fall", state, line)]
+
+    # -- composite statements ------------------------------------------------
+
+    def _walk_if(self, stmt: ast.If, state: _State) -> List[_Exit]:
+        branch = self._lock_condition(stmt.test, state)
+        if branch is not None:
+            held_if_true, acquired = branch
+            then_state = state.fork()
+            else_state = state.fork()
+            then_state.pending = else_state.pending = None
+            if held_if_true:
+                then_state.held = acquired
+                else_state.held = None
+            else:
+                then_state.held = None
+                else_state.held = acquired
+        else:
+            self._apply_effects(stmt.test, state)
+            then_state = state.fork()
+            else_state = state.fork()
+        exits = self._walk_block(stmt.body, then_state)
+        if stmt.orelse:
+            exits += self._walk_block(stmt.orelse, else_state)
+        else:
+            exits.append(_Exit("fall", else_state, stmt.lineno))
+        return exits
+
+    def _lock_condition(
+        self, test: ast.expr, state: _State
+    ) -> Optional[Tuple[bool, int]]:
+        """If *test* is ``X`` / ``not X`` for the pending try_lock result
+        variable, return (lock-held-when-test-true, acquire line)."""
+        if state.pending is None:
+            return None
+        variable, acquired = state.pending
+        if isinstance(test, ast.Name) and test.id == variable:
+            return True, acquired
+        if (
+            isinstance(test, ast.UnaryOp)
+            and isinstance(test.op, ast.Not)
+            and isinstance(test.operand, ast.Name)
+            and test.operand.id == variable
+        ):
+            return False, acquired
+        return None
+
+    def _walk_loop(self, stmt: ast.stmt, state: _State) -> List[_Exit]:
+        if isinstance(stmt, ast.While):
+            self._apply_effects(stmt.test, state)
+        else:
+            self._apply_effects(stmt.iter, state)
+        body_exits = self._walk_block(stmt.body, state.fork())
+        exits: List[_Exit] = []
+        after_states = [state.fork()]  # zero-iteration path
+        for exit_ in body_exits:
+            if exit_.kind in ("continue", "fall"):
+                # Loop-back edge: the next iteration re-enters the body
+                # fresh, so the lock must be resolved here.
+                self._check_resolved(
+                    exit_.state, exit_.line, "at loop iteration end"
+                )
+            elif exit_.kind == "break":
+                after_states.append(exit_.state)
+            else:
+                exits.append(exit_)
+        if stmt.orelse:
+            for after in after_states:
+                exits += self._walk_block(stmt.orelse, after)
+        else:
+            exits.extend(_Exit("fall", after, stmt.lineno) for after in after_states)
+        return exits
+
+    def _walk_try(self, stmt: ast.Try, state: _State) -> List[_Exit]:
+        finally_releases = any(
+            _contains_release(s, self.delegates) for s in stmt.finalbody
+        )
+        body_exits = self._walk_block(stmt.body, state.fork())
+        handler_exits: List[_Exit] = []
+        for handler in stmt.handlers:
+            handler_exits += self._walk_block(handler.body, state.fork())
+        exits: List[_Exit] = []
+        for exit_ in body_exits + handler_exits:
+            if finally_releases:
+                exit_.state.held = None
+                exit_.state.pending = None
+            if exit_.kind == "fall" and stmt.orelse and exit_ in body_exits:
+                exits += self._walk_block(stmt.orelse, exit_.state)
+            else:
+                exits.append(exit_)
+        return exits
+
+    # -- expression effects --------------------------------------------------
+
+    def _apply_effects(
+        self, node: ast.AST, state: _State, ignore_acquire: bool = False
+    ) -> Optional[int]:
+        """Apply release/acquire calls found inside *node* to *state*.
+
+        Returns the acquire line if an acquire call is present (and not
+        ignored); releases are applied in place.
+        """
+        acquired: Optional[int] = None
+        for call in ast.walk(node):
+            name = _call_name(call)
+            if name is None:
+                continue
+            if name in RELEASE_NAMES or name in self.delegates:
+                state.held = None
+                state.pending = None
+            elif name in ACQUIRE_NAMES and not ignore_acquire:
+                acquired = call.lineno
+        return acquired
+
+    def _single_name_target(self, stmt: ast.stmt) -> Optional[str]:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+        elif isinstance(stmt, ast.AnnAssign):
+            target = stmt.target
+        else:
+            return None
+        if isinstance(target, ast.Name):
+            return target.id
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# module-level driving                                                         #
+# --------------------------------------------------------------------------- #
+
+def _functions(tree: ast.Module) -> List[ast.FunctionDef]:
+    found: List[ast.FunctionDef] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            found.append(node)
+    return found
+
+
+def releasing_functions(tree: ast.Module) -> Set[str]:
+    """Names of local functions that release a held lock on every path.
+
+    Iterates to a fixpoint so a delegate may itself delegate. A function
+    qualifies when, entered with the lock held, every non-raising exit
+    has released it.
+    """
+    delegates: Set[str] = set()
+    functions = _functions(tree)
+    changed = True
+    while changed:
+        changed = False
+        for func in functions:
+            if func.name in delegates or func.name in IMPLEMENTATION_NAMES:
+                continue
+            if not _contains_release(func, delegates):
+                continue
+            checker = _FunctionChecker(func, delegates)
+            entry = _State(held=func.lineno)
+            exits = checker._walk_block(func.body, entry)
+            if all(
+                exit_.state.held is None
+                for exit_ in exits
+                if exit_.kind != "raise"
+            ) and checker.report.violations == []:
+                delegates.add(func.name)
+                changed = True
+    return delegates
+
+
+def check_lock_pairing(tree: ast.Module) -> List[Tuple[int, str]]:
+    """Run the N02 analysis over a parsed module; returns (line, message)."""
+    delegates = releasing_functions(tree)
+    violations: List[Tuple[int, str]] = []
+    for func in _functions(tree):
+        if func.name in IMPLEMENTATION_NAMES:
+            continue  # accessor implementations, not protocol users
+        if _contains_acquire(func) is None:
+            continue
+        checker = _FunctionChecker(func, delegates)
+        violations.extend(checker.run())
+    return sorted(set(violations))

@@ -1,0 +1,84 @@
+"""Pytest integration: ``--namsan`` races every cluster a test builds.
+
+Imported (not installed) from ``tests/conftest.py``::
+
+    from repro.analysis.namsan.pytest_plugin import *  # noqa: F401,F403
+
+With ``--namsan`` on the pytest command line, every :class:`Cluster` a
+test constructs gets a :class:`~repro.analysis.namsan.events.TraceCollector`
+attached at birth, and at teardown the collected remote-memory trace is
+replayed through the :class:`~repro.analysis.namsan.sanitizer.RaceDetector`.
+Any race fails the test with the two conflicting verb events — including
+tests that "passed" by scheduling luck.
+
+Tests that *deliberately* race (the lock-bypass regression tests) opt out
+with ``@pytest.mark.namsan_allow_races``. Without ``--namsan`` the
+fixture is inert and clusters are untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+__all__ = ["pytest_addoption", "pytest_configure", "namsan_trace"]
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--namsan",
+        action="store_true",
+        default=False,
+        help="trace every cluster's remote-memory accesses and fail tests "
+        "whose workloads contain happens-before data races",
+    )
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "namsan_allow_races: this test races remote memory on purpose; "
+        "the --namsan sanitizer must not fail it",
+    )
+
+
+@pytest.fixture(autouse=True)
+def namsan_trace(request):
+    """Autouse: under ``--namsan``, trace-and-check every cluster."""
+    if not request.config.getoption("--namsan"):
+        yield
+        return
+
+    from repro.analysis.namsan.events import TraceCollector
+    from repro.nam.cluster import Cluster
+
+    collectors = []
+    original_init = Cluster.__init__
+
+    def traced_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        collectors.append(TraceCollector().attach(self))
+
+    Cluster.__init__ = traced_init
+    try:
+        yield
+    finally:
+        Cluster.__init__ = original_init
+
+    if request.node.get_closest_marker("namsan_allow_races") is not None:
+        return
+
+    from repro.analysis.namsan.sanitizer import RaceDetector
+
+    lines = []
+    # One detector per cluster: two clusters in one test are separate
+    # universes whose offsets must not be cross-checked.
+    for collector in collectors:
+        detector = RaceDetector().feed_all(collector.events)
+        if detector.races:
+            lines.append(detector.summary())
+            lines += [
+                f"race #{i}: {race.describe()}"
+                for i, race in enumerate(detector.races, start=1)
+            ]
+    if lines:
+        pytest.fail("\n".join(lines), pytrace=False)

@@ -18,6 +18,7 @@ __all__ = [
     "CatalogError",
     "ConfigurationError",
     "ConfigurationWarning",
+    "AnalysisError",
 ]
 
 
@@ -83,6 +84,11 @@ class CatalogError(ReproError):
 
 class ConfigurationError(ReproError):
     """An invalid cluster/workload configuration was supplied."""
+
+
+class AnalysisError(ReproError):
+    """A namsan analysis input was unusable (unparseable source file,
+    malformed trace record, unknown rule name)."""
 
 
 class ConfigurationWarning(UserWarning):

@@ -95,22 +95,44 @@ class LocalAccessor(NodeAccessor):
             )
         return pointer.offset
 
+    def _emit(self, kind: str, verb: str, offset: int, length: int, epoch: int = 0) -> None:
+        """Report a region effect to an attached trace sanitizer. The actor
+        is the *physical* host whose worker runs this accessor; the server
+        field is the logical id whose bytes are touched (they differ on a
+        promoted backup)."""
+        sanitizer = getattr(self.server, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.emit(
+                f"s{self.server.server_id}",
+                kind,
+                verb,
+                self.logical_id,
+                offset,
+                length,
+                self.server.sim.now,
+                lock_epoch=epoch,
+            )
+
     def read_node(self, raw_ptr: int) -> Generator[Any, Any, Node]:
         offset = self._offset(raw_ptr)
         yield self.server.cpu(self._node_cost)
-        return Node.from_bytes(self.region.read(offset, self.page_size))
+        data = self.region.read(offset, self.page_size)
+        self._emit("read", "LOCAL_READ", offset, self.page_size)
+        return Node.from_bytes(data)
 
     def write_node(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
         offset = self._offset(raw_ptr)
         yield self.server.cpu(self._node_cost)
         self.region.write(offset, node.to_bytes(self.page_size))
+        self._emit("write", "LOCAL_WRITE", offset, self.page_size)
 
     def try_lock(self, raw_ptr: int, version: int) -> Generator[Any, Any, bool]:
         offset = self._offset(raw_ptr)
         yield self.server.cpu(self._atomic_cost)
-        swapped, _old = self.region.compare_and_swap(
+        swapped, old = self.region.compare_and_swap(
             offset, version, version | 1
         )
+        self._emit("atomic", "LOCAL_CAS", offset, 8, epoch=old)
         return swapped
 
     def unlock_write(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
@@ -118,12 +140,15 @@ class LocalAccessor(NodeAccessor):
         node.version |= 1
         yield self.server.cpu(self._node_cost)
         self.region.write(offset, node.to_bytes(self.page_size))
-        self.region.fetch_and_add(offset, 1)
+        self._emit("write", "LOCAL_WRITE", offset, self.page_size)
+        old = self.region.fetch_and_add(offset, 1)
+        self._emit("atomic", "LOCAL_FAA", offset, 8, epoch=old)
 
     def unlock_nochange(self, raw_ptr: int) -> Generator[Any, Any, None]:
         offset = self._offset(raw_ptr)
         yield self.server.cpu(self._atomic_cost)
-        self.region.fetch_and_add(offset, 1)
+        old = self.region.fetch_and_add(offset, 1)
+        self._emit("atomic", "LOCAL_FAA", offset, 8, epoch=old)
 
     def alloc(self, level: int) -> Generator[Any, Any, int]:
         yield self.server.cpu(self._atomic_cost)
@@ -330,18 +355,38 @@ class LocalRootRef(RootRef):
             )
         self.server = server
         self.region = region if region is not None else server.region
+        self.logical_id = location.server_id
         self.offset = location.offset
 
+    def _emit(self, kind: str, verb: str, epoch: int = 0) -> None:
+        sanitizer = getattr(self.server, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.emit(
+                f"s{self.server.server_id}",
+                kind,
+                verb,
+                self.logical_id,
+                self.offset,
+                8,
+                self.server.sim.now,
+                lock_epoch=epoch,
+            )
+
     def get(self) -> Generator[Any, Any, int]:
-        return self.region.read_u64(self.offset)
+        raw = self.region.read_u64(self.offset)
+        self._emit("read", "LOCAL_READ")
+        return raw
         yield  # pragma: no cover - unreachable; makes this a generator
 
     def refresh(self) -> Generator[Any, Any, int]:
-        return self.region.read_u64(self.offset)
+        raw = self.region.read_u64(self.offset)
+        self._emit("read", "LOCAL_READ")
+        return raw
         yield  # pragma: no cover - unreachable; makes this a generator
 
     def compare_and_swap(self, old: int, new: int) -> Generator[Any, Any, bool]:
-        swapped, _ = self.region.compare_and_swap(self.offset, old, new)
+        swapped, current = self.region.compare_and_swap(self.offset, old, new)
+        self._emit("atomic", "LOCAL_CAS", epoch=current)
         return swapped
         yield  # pragma: no cover - unreachable; makes this a generator
 

@@ -185,7 +185,9 @@ class CoarseGrainedIndex(DistributedIndex):
                 place_inner=lambda level, i, s=server_id: s,
                 fill=fill,
             )
-            server.region.write_u64(root_location.offset, result.root_raw)
+            cluster.write_control_word(
+                server_id, root_location.offset, result.root_raw
+            )
             roots[server_id] = root_location
             server.app[(_APP, name, server_id)] = BLinkTree(
                 LocalAccessor(server), LocalRootRef(server, root_location)

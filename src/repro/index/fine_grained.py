@@ -88,8 +88,8 @@ class FineGrainedIndex(DistributedIndex):
             fill=config.tree.bulk_fill,
             head_interval=head_interval,
         )
-        cluster.memory_server(home_server).region.write_u64(
-            root_location.offset, result.root_raw
+        cluster.write_control_word(
+            home_server, root_location.offset, result.root_raw
         )
         index = cls(cluster, name, root_location, use_head_nodes=head_interval > 0)
         cluster.catalog.register(

@@ -174,7 +174,9 @@ class HybridIndex(DistributedIndex):
                 head_interval=head_interval,
                 min_height=2,
             )
-            server.region.write_u64(root_location.offset, result.root_raw)
+            cluster.write_control_word(
+                server_id, root_location.offset, result.root_raw
+            )
             roots[server_id] = root_location
             server.app[(_APP, name, server_id)] = BLinkTree(
                 LocalAccessor(server), LocalRootRef(server, root_location)

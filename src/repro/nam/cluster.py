@@ -189,6 +189,17 @@ class Cluster:
         offset = self.memory_server(server_id).allocator.allocate()
         return RootLocation(server_id=server_id, offset=offset)
 
+    def write_control_word(self, server_id: int, offset: int, raw: int) -> None:
+        """Construction-time store of a control word (root pointer install).
+
+        The control-plane counterpart of :class:`DirectPageSink`: index
+        build paths install root pointers here instead of poking region
+        buffers directly (lint rule N03). Like all construction-time
+        stores it happens before any workload and is outside the trace
+        sanitizer's model.
+        """
+        self.memory_server(server_id).region.write_u64(offset, raw)
+
     # -- running --------------------------------------------------------------
 
     def execute(self, generator: Generator) -> Any:

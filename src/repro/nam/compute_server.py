@@ -46,7 +46,12 @@ class ComputeServer:
         for server in memory_servers:
             local = colocated and server.machine is machine
             self._qps[server.server_id] = QueuePair(
-                sim, fabric, port, server, use_local_fast_path=local
+                sim,
+                fabric,
+                port,
+                server,
+                use_local_fast_path=local,
+                client_id=server_id,
             )
 
     def qp(self, server_id: int) -> QueuePair:
@@ -79,6 +84,7 @@ class ComputeServer:
                     use_local_fast_path=local,
                     region=region,
                     logical_id=server_id,
+                    client_id=self.server_id,
                 )
                 self._qps[server_id] = qp
             qp.route_epoch = replication.epoch

@@ -65,6 +65,9 @@ class MemoryServer:
         #: Set by the cluster when replication is enabled; worker loops
         #: then charge mirror legs for mutating RPCs before acking.
         self.replication = None
+        #: Optional :class:`repro.analysis.namsan.events.TraceCollector`;
+        #: local accessors emit their page/word effects through it.
+        self.sanitizer = None
         #: Index-design state keyed by (design, index name) — e.g. the
         #: server-local B-link trees the RPC handlers operate on.
         self.app: Dict[Any, Any] = {}

@@ -1,0 +1,14 @@
+"""Executable alias so the analysis tools are one short command away:
+
+``python -m repro.namsan lint src/repro`` / ``... sanitize trace.jsonl``.
+
+The implementation lives in :mod:`repro.analysis.namsan`; this module
+only forwards to its CLI.
+"""
+
+from repro.analysis.namsan.cli import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,10 @@ class Fabric:
         #: by the cluster when ``replication_factor > 1``. While None,
         #: queue pairs and accessors skip every replication hook.
         self.replication = None
+        #: Optional :class:`repro.analysis.namsan.events.TraceCollector`
+        #: recording every one-sided memory effect for race detection.
+        #: While None (the default) emission is a single attribute test.
+        self.sanitizer = None
 
     def attach_injector(self, injector) -> None:
         """Install a fault injector on every queue pair using this fabric."""

@@ -93,12 +93,16 @@ class QueuePair:
         use_local_fast_path: bool = False,
         region: Any = None,
         logical_id: int = None,
+        client_id: int = None,
     ) -> None:
         self.sim = sim
         self.fabric = fabric
         self.local_port = local_port
         self.remote = remote_server
         self.is_local = use_local_fast_path
+        #: Owning compute server's id, naming this QP's actor in sanitizer
+        #: traces (None for anonymous QPs, e.g. in unit tests).
+        self.client_id = client_id
         # Replication indirection: verbs address the *logical* server's
         # authoritative region, which after a failover may live on a
         # different physical host than ``remote_server`` originally did.
@@ -140,6 +144,52 @@ class QueuePair:
                 self.sim.now,
                 local=self.is_local,
             )
+
+    # -- sanitizer-visible region effects -------------------------------------
+    #
+    # All four one-sided verbs apply their memory effect through these
+    # wrappers, on the fast path and inside the fault-injected attempt
+    # loop alike, so an attached trace sanitizer sees every effect exactly
+    # once — at the simulated instant it hits the region. Kind strings
+    # match repro.analysis.namsan.events (kept literal to avoid an
+    # rdma -> analysis import).
+
+    @property
+    def _actor(self) -> str:
+        return f"c{self.client_id}" if self.client_id is not None else "c?"
+
+    def _emit(self, kind: str, verb: str, offset: int, length: int, epoch: int = 0) -> None:
+        sanitizer = self.fabric.sanitizer
+        if sanitizer is not None:
+            sanitizer.emit(
+                self._actor,
+                kind,
+                verb,
+                self.logical_id,
+                offset,
+                length,
+                self.sim.now,
+                lock_epoch=epoch,
+            )
+
+    def _apply_read(self, offset: int, length: int) -> bytes:
+        data = self.region.read(offset, length)
+        self._emit("read", "READ", offset, length)
+        return data
+
+    def _apply_write(self, offset: int, data: bytes) -> None:
+        self.region.write(offset, data)
+        self._emit("write", "WRITE", offset, len(data))
+
+    def _apply_cas(self, offset: int, expected: int, new: int) -> Tuple[bool, int]:
+        swapped, old = self.region.compare_and_swap(offset, expected, new)
+        self._emit("atomic", "CAS", offset, 8, epoch=old)
+        return swapped, old
+
+    def _apply_faa(self, offset: int, delta: int) -> int:
+        old = self.region.fetch_and_add(offset, delta)
+        self._emit("atomic", "FETCH_ADD", offset, 8, epoch=old)
+        return old
 
     def _mirror(self, payload_bytes: int) -> Generator[Any, Any, None]:
         """Replication fan-out after a mutating verb's primary effect: one
@@ -222,7 +272,7 @@ class QueuePair:
                     length,
                     self.fabric.config.request_wire_bytes,
                     length,
-                    lambda: self.region.read(offset, length),
+                    lambda: self._apply_read(offset, length),
                 )
             )
         started_at = self.sim.now
@@ -233,7 +283,7 @@ class QueuePair:
             yield from self._request_leg(self.fabric.config.request_wire_bytes)
             yield from self._response_leg(length)
         self._trace(Verb.READ, length, started_at)
-        return self.region.read(offset, length)
+        return self._apply_read(offset, length)
 
     def write(self, offset: int, data: bytes) -> Generator[Any, Any, None]:
         """RDMA WRITE *data* at *offset* of the remote region."""
@@ -244,7 +294,7 @@ class QueuePair:
                     len(data),
                     self.fabric.config.request_wire_bytes + len(data),
                     0,
-                    lambda: self.region.write(offset, data),
+                    lambda: self._apply_write(offset, data),
                     mirror_bytes=lambda _result, n=len(data): n,
                 )
             )
@@ -259,7 +309,7 @@ class QueuePair:
             # Completion (ACK) back to the requester.
             yield from self._response_leg(0)
         self._trace(Verb.WRITE, len(data), started_at)
-        self.region.write(offset, data)
+        self._apply_write(offset, data)
         yield from self._mirror(len(data))
 
     def _atomic_legs(self) -> Generator[Any, Any, None]:
@@ -281,7 +331,7 @@ class QueuePair:
                     8,
                     self.fabric.config.request_wire_bytes + 16,
                     8,
-                    lambda: self.region.compare_and_swap(offset, expected, new),
+                    lambda: self._apply_cas(offset, expected, new),
                     atomic=True,
                     mirror_bytes=lambda result: 8 if result[0] else 0,
                 )
@@ -290,7 +340,7 @@ class QueuePair:
         self.remote.stats.record(Verb.CAS, 8)
         yield from self._atomic_legs()
         self._trace(Verb.CAS, 8, started_at)
-        swapped, old = self.region.compare_and_swap(offset, expected, new)
+        swapped, old = self._apply_cas(offset, expected, new)
         if swapped:
             yield from self._mirror(8)
         return swapped, old
@@ -304,7 +354,7 @@ class QueuePair:
                     8,
                     self.fabric.config.request_wire_bytes + 16,
                     8,
-                    lambda: self.region.fetch_and_add(offset, delta),
+                    lambda: self._apply_faa(offset, delta),
                     atomic=True,
                     mirror_bytes=lambda _result: 8,
                 )
@@ -313,7 +363,7 @@ class QueuePair:
         self.remote.stats.record(Verb.FETCH_ADD, 8)
         yield from self._atomic_legs()
         self._trace(Verb.FETCH_ADD, 8, started_at)
-        old = self.region.fetch_and_add(offset, delta)
+        old = self._apply_faa(offset, delta)
         yield from self._mirror(8)
         return old
 

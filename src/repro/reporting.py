@@ -15,7 +15,7 @@ from __future__ import annotations
 import csv
 import io
 import math
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.workloads.metrics import OpType, RunResult

@@ -5,6 +5,16 @@ from __future__ import annotations
 import pytest
 
 from repro import Cluster, ClusterConfig
+
+# Registers the --namsan option, the namsan_allow_races marker, and the
+# autouse fixture that traces every cluster for data races when the
+# option is on (inert otherwise). Imported rather than installed so the
+# plugin rides along with the source tree.
+from repro.analysis.namsan.pytest_plugin import (  # noqa: F401
+    namsan_trace,
+    pytest_addoption,
+    pytest_configure,
+)
 from repro.workloads import generate_dataset
 
 

@@ -1,0 +1,22 @@
+"""N01 fixture: every classic determinism leak in one file."""
+
+import random
+import time
+from datetime import datetime
+from time import monotonic as mono
+
+
+def stamp_with_wall_clock():
+    return time.time()
+
+
+def stamp_with_monotonic():
+    return mono()
+
+
+def unseeded_choice(options):
+    return random.choice(options)
+
+
+def timestamped_label():
+    return datetime.now().isoformat()

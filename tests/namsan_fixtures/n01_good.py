@@ -1,0 +1,22 @@
+"""N01 fixture: the sanctioned ways to get time and randomness."""
+
+from datetime import datetime
+
+import numpy as np
+
+
+def seeded_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def pick(rng, options):
+    return options[rng.integers(len(options))]
+
+
+def sim_timestamp(env):
+    return env.now
+
+
+def explicit_date():
+    # A fully specified datetime is a constant, not a clock read.
+    return datetime(2019, 7, 1, 12, 0, 0)

@@ -1,0 +1,23 @@
+"""N02 fixture: lock acquire/release pairing broken three ways."""
+
+
+def leak_on_early_return(self, ptr, node):
+    locked = yield from self.acc.try_lock(ptr, node.version)
+    if not locked:
+        return False
+    if node.count >= node.capacity:
+        return None  # leaves the node locked
+    yield from self.acc.unlock_write(ptr, node)
+    return True
+
+
+def leak_on_loop_continue(self, ptrs):
+    for ptr in ptrs:
+        locked = yield from self.acc.try_lock(ptr, 0)
+        if locked:
+            continue  # next iteration re-enters with the lock still held
+
+
+def result_never_checked(self, ptr, node):
+    yield from self.acc.try_lock(ptr, node.version)
+    node.count += 1

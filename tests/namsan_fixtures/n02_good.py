@@ -1,0 +1,56 @@
+"""N02 fixture: the lock patterns the real tree code uses, all clean."""
+
+
+def classic_pair(self, ptr, node):
+    locked = yield from self.acc.try_lock(ptr, node.version)
+    if not locked:
+        return False
+    if node.count >= node.capacity:
+        yield from self.acc.unlock_nochange(ptr)
+        return None
+    node.count += 1
+    yield from self.acc.unlock_write(ptr, node)
+    return True
+
+
+def finally_released(self, ptr, node):
+    locked = yield from self.acc.try_lock(ptr, node.version)
+    if not locked:
+        return False
+    try:
+        node.mutate()
+    finally:
+        yield from self.acc.unlock_write(ptr, node)
+    return True
+
+
+def retry_loop(self, ptr):
+    while True:
+        node = yield from self.acc.read_node(ptr)
+        locked = yield from self.acc.try_lock(ptr, node.version)
+        if not locked:
+            yield from self.acc.spin_pause()
+            continue
+        yield from self.acc.unlock_write(ptr, node)
+        return node
+
+
+def delegates_to_releaser(self, ptr, node):
+    locked = yield from self.acc.try_lock(ptr, node.version)
+    if not locked:
+        return None
+    return (yield from self._finish_locked(ptr, node))
+
+
+def _finish_locked(self, ptr, node):
+    if node.dirty:
+        yield from self.acc.unlock_write(ptr, node)
+    else:
+        yield from self.acc.unlock_nochange(ptr)
+    return node
+
+
+def try_lock(self, ptr, version):
+    # Accessor implementations acquire on behalf of their caller.
+    swapped = yield from self.qp.compare_and_swap(ptr, version, version | 1)
+    return swapped

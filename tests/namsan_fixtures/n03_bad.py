@@ -1,0 +1,14 @@
+"""N03 fixture: index-layer code poking region buffers directly."""
+
+
+def install_root(server, offset, raw):
+    server.region.write_u64(offset, raw)
+
+
+def peek_version(region, offset):
+    return region.read_u64(offset)
+
+
+def hand_rolled_lock(server, offset, version):
+    swapped, _old = server.region.compare_and_swap(offset, version, version | 1)
+    return swapped

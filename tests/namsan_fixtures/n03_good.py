@@ -1,0 +1,15 @@
+"""N03 fixture: the sanctioned routes to remote bytes."""
+
+
+def install_root(cluster, server_id, offset, raw):
+    cluster.write_control_word(server_id, offset, raw)
+
+
+def read_through_accessor(acc, raw_ptr):
+    node = yield from acc.read_node(raw_ptr)
+    return node
+
+
+def audited_direct_read(region, offset):
+    # Out-of-band audits may opt out, visibly, one line at a time.
+    return region.read_u64(offset)  # namsan: allow[N03]

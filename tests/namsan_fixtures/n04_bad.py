@@ -1,0 +1,16 @@
+"""N04 fixture: ad-hoc exception types outside the taxonomy."""
+
+
+def fail_generically(reason):
+    raise RuntimeError(f"something went wrong: {reason}")
+
+
+def fail_with_custom_type(code):
+    class ProtocolPanic(Exception):
+        pass
+
+    raise ProtocolPanic(code)
+
+
+def exit_from_library_code():
+    raise SystemExit(3)

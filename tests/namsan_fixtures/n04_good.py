@@ -1,0 +1,21 @@
+"""N04 fixture: raises that keep the ``except ReproError`` promise."""
+
+from repro.errors import ConfigurationError, IndexError_
+
+
+def reject_bad_config(value):
+    if value < 0:
+        raise ConfigurationError(f"value must be non-negative, got {value}")
+
+
+def reject_bad_argument(page_size):
+    if page_size % 8:
+        raise ValueError("page_size must be a multiple of 8")
+
+
+def protocol_failure(ptr):
+    raise IndexError_(f"separator for {ptr:#x} vanished")
+
+
+def reraise_caught(exc):
+    raise exc

@@ -1,0 +1,23 @@
+"""N05 fixture: broad handlers that swallow injected faults."""
+
+
+def swallow_silently(op):
+    try:
+        return op()
+    except Exception:
+        return None
+
+
+def swallow_everything(op):
+    try:
+        return op()
+    except:  # noqa: E722 - the point of the fixture
+        return None
+
+
+def log_and_forget(op, log):
+    try:
+        return op()
+    except Exception as exc:
+        log.append(f"ignored: {exc!r}")
+        return None

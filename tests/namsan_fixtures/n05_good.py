@@ -1,0 +1,34 @@
+"""N05 fixture: handlers that catch narrowly or provably propagate."""
+
+from repro.errors import ReproError, RetriesExhaustedError
+
+
+def catch_specific(op):
+    try:
+        return op()
+    except RetriesExhaustedError:
+        return None
+
+
+def catch_family(op, report):
+    try:
+        return op()
+    except ReproError as exc:
+        report.append(exc)
+        return None
+
+
+def broad_but_reraises(op, log):
+    try:
+        return op()
+    except Exception:
+        log.append("failed")
+        raise
+
+
+def broad_but_propagates(op, channel):
+    try:
+        return op()
+    except BaseException as exc:
+        channel.fail(exc)
+        return None

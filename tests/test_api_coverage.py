@@ -5,7 +5,6 @@ import pytest
 from repro import Cluster, ClusterConfig, HybridIndex
 from repro.rdma.verbs import Verb, VerbStats
 from repro.sim import BandwidthChannel, Simulator
-from repro.workloads import generate_dataset
 
 
 def test_qp_read_many_returns_in_request_order(cluster, compute):

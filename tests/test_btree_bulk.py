@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.btree import BLinkTree, MAX_KEY, Node, NodeType, bulk_load, is_null
+from repro.btree import BLinkTree, bulk_load, is_null
 from repro.btree.inmemory import InMemoryAccessor, InMemoryRootRef, drive
-from repro.btree.pointers import RemotePointer, encode_pointer
+from repro.btree.pointers import encode_pointer
 from repro.errors import IndexError_
 
 

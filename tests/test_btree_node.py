@@ -14,7 +14,7 @@ from repro.btree.node import (
     is_tombstoned,
     strip_tombstone,
 )
-from repro.btree.pointers import NULL_RAW, encode_pointer
+from repro.btree.pointers import encode_pointer
 from repro.errors import IndexError_
 
 

@@ -5,7 +5,7 @@ import pytest
 from repro import Cluster, ClusterConfig, CoarseGrainedIndex
 from repro.errors import ConfigurationError
 from repro.index.partitioning import HashPartitioner, RangePartitioner
-from repro.workloads import generate_dataset, skewed_partitioner
+from repro.workloads import skewed_partitioner
 
 
 def test_pages_stay_on_partition_owner(cluster, dataset):

@@ -9,7 +9,6 @@ from repro import (
     FineGrainedIndex,
     HybridIndex,
 )
-from repro.workloads import generate_dataset
 
 DESIGN_CLASSES = [CoarseGrainedIndex, FineGrainedIndex, HybridIndex]
 

@@ -1,9 +1,6 @@
 """Design-specific tests for the fine-grained (one-sided) index."""
 
-import pytest
-
 from repro import Cluster, ClusterConfig, FineGrainedIndex
-from repro.btree.pointers import RemotePointer
 from repro.rdma.verbs import Verb
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro import Cluster, ClusterConfig, EpochGarbageCollector, FineGrainedIndex
 from repro.btree import BLinkTree
 from repro.btree.inmemory import InMemoryAccessor, InMemoryRootRef, drive
-from repro.workloads import generate_dataset
 
 
 @pytest.fixture

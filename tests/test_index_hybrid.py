@@ -1,11 +1,9 @@
 """Design-specific tests for the hybrid index."""
 
-import pytest
-
 from repro import Cluster, ClusterConfig, HybridIndex
 from repro.btree.pointers import RemotePointer
 from repro.rdma.verbs import Verb
-from repro.workloads import generate_dataset, skewed_partitioner
+from repro.workloads import skewed_partitioner
 
 
 def build(cluster, dataset, **kwargs):
@@ -30,7 +28,7 @@ def test_inner_nodes_on_owner_leaves_spread(cluster, dataset):
 
 
 def test_leaves_spread_even_under_skewed_partitioning(cluster, dataset):
-    index = build(cluster, dataset, partitioner=skewed_partitioner(dataset, 4))
+    build(cluster, dataset, partitioner=skewed_partitioner(dataset, 4))
     allocated = [s.allocator.pages_allocated for s in cluster.memory_servers]
     # 80% of the data belongs to server 0's partition, yet pages balance.
     assert max(allocated) <= 1.5 * min(allocated)

@@ -1,0 +1,173 @@
+"""The ``python -m repro.namsan`` command-line front end.
+
+Covers both subcommands end to end: exit codes (0 clean / 1 findings /
+2 unusable input), human-readable output, GitHub Actions ``::error``
+annotations, and the module shim itself via a subprocess smoke test.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.namsan.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
+from repro.analysis.namsan.events import TraceCollector
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+REPO_SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def _write_bad_tree(tmp_path):
+    """A pretend source tree with one N03 violation in the index layer."""
+    pkg = tmp_path / "src" / "repro" / "index"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        "def install(server):\n"
+        "    server.region.write_u64(0, 1)\n",
+        encoding="utf-8",
+    )
+    return tmp_path / "src" / "repro"
+
+
+def test_lint_repository_tree_exits_clean(capsys):
+    assert main(["lint", REPO_SRC]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "[namsan lint] OK" in out
+
+
+def test_lint_violation_exits_one(tmp_path, capsys):
+    tree = _write_bad_tree(tmp_path)
+    assert main(["lint", str(tree)]) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "N03" in out
+    assert "bad.py:2" in out
+    assert "1 violation(s)" in out
+
+
+def test_lint_rule_subset_skips_other_rules(tmp_path, capsys):
+    tree = _write_bad_tree(tmp_path)
+    # The tree only violates N03; linting just N01 is clean.
+    assert main(["lint", "--rules", "N01", str(tree)]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "[namsan lint] OK (N01)" in out
+
+
+def test_lint_github_annotations(tmp_path, capsys):
+    tree = _write_bad_tree(tmp_path)
+    assert main(["lint", "--github", str(tree)]) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "::error file=" in out
+    assert "title=namsan N03::" in out
+
+
+def test_lint_unknown_rule_exits_two(tmp_path, capsys):
+    tree = _write_bad_tree(tmp_path)
+    assert main(["lint", "--rules", "N99", str(tree)]) == EXIT_ERROR
+    assert "[namsan] error:" in capsys.readouterr().out
+
+
+def _dump_trace(tmp_path, specs):
+    """Dump (actor, kind, verb, offset, length) specs as a trace file."""
+    collector = TraceCollector()
+    for index, (actor, kind, verb, offset, length) in enumerate(specs):
+        collector.emit(
+            actor=actor,
+            kind=kind,
+            verb=verb,
+            server=0,
+            offset=offset,
+            length=length,
+            time=index * 1e-6,
+        )
+    path = tmp_path / "trace.jsonl"
+    assert collector.dump(str(path)) == len(specs)
+    return str(path)
+
+
+def test_sanitize_racy_trace_exits_one(tmp_path, capsys):
+    path = _dump_trace(
+        tmp_path,
+        [
+            ("c0", "write", "WRITE", 0x100, 64),
+            ("c1", "write", "WRITE", 0x120, 64),
+        ],
+    )
+    assert main(["sanitize", path]) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "race #1:" in out
+    assert "unordered" in out
+    assert "1 RACES" in out
+
+
+def test_sanitize_clean_trace_exits_zero(tmp_path, capsys):
+    # Classic lock handover: CAS-lock, write, FAA-unlock on each side.
+    path = _dump_trace(
+        tmp_path,
+        [
+            ("c0", "atomic", "CAS", 0x100, 8),
+            ("c0", "write", "WRITE", 0x100, 64),
+            ("c0", "atomic", "FETCH_AND_ADD", 0x100, 8),
+            ("c1", "atomic", "CAS", 0x100, 8),
+            ("c1", "write", "WRITE", 0x100, 64),
+            ("c1", "atomic", "FETCH_AND_ADD", 0x100, 8),
+        ],
+    )
+    assert main(["sanitize", path]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert "6 events" in out
+
+
+def test_sanitize_github_annotations(tmp_path, capsys):
+    path = _dump_trace(
+        tmp_path,
+        [
+            ("c0", "write", "WRITE", 0x100, 64),
+            ("c1", "write", "WRITE", 0x100, 64),
+        ],
+    )
+    assert main(["sanitize", "--github", path]) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "::error title=namsan race #1::" in out
+
+
+def test_sanitize_malformed_trace_exits_two(tmp_path, capsys):
+    path = tmp_path / "garbage.jsonl"
+    path.write_text('{"seq": 0, "nonsense": true}\n', encoding="utf-8")
+    assert main(["sanitize", str(path)]) == EXIT_ERROR
+    assert "[namsan] error:" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("read_races, expected", [(False, EXIT_CLEAN), (True, EXIT_FINDINGS)])
+def test_sanitize_read_races_flag(tmp_path, capsys, read_races, expected):
+    path = _dump_trace(
+        tmp_path,
+        [
+            ("c0", "write", "WRITE", 0x100, 64),
+            ("c1", "read", "READ", 0x100, 64),
+        ],
+    )
+    argv = ["sanitize", path]
+    if read_races:
+        argv.insert(1, "--read-races")
+    assert main(argv) == expected
+    capsys.readouterr()
+
+
+def test_module_shim_runs_as_script(tmp_path):
+    """``python -m repro.namsan`` resolves and lints via the shim."""
+    tree = _write_bad_tree(tmp_path)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.namsan", "lint", str(tree)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == EXIT_FINDINGS, proc.stderr
+    assert "N03" in proc.stdout

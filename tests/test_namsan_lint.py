@@ -1,0 +1,117 @@
+"""The namsan lint engine, rule by rule, against the fixture corpus.
+
+Each rule has a ``nXX_bad.py`` fixture that must trigger it and an
+``nXX_good.py`` fixture that must not; fixtures are linted *as if* they
+lived under ``src/repro/...`` (the ``pretend_path`` mechanism), because
+rule applicability is scoped by architecture layer. The suite also pins
+the suppression syntax, the scoping rules, and — the satellite
+acceptance criterion — that the repository's own tree is lint-clean.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.namsan.linter import lint_file, lint_paths, lint_source
+from repro.errors import AnalysisError
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "namsan_fixtures")
+REPO_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src", "repro")
+
+#: rule -> (pretend directory, expected violations in the bad fixture)
+CASES = {
+    "N01": ("src/repro/sim", 4),
+    "N02": ("src/repro/btree", 3),
+    "N03": ("src/repro/index", 3),
+    "N04": ("src/repro/nam", 3),
+    "N05": ("src/repro/nam", 3),
+}
+
+
+def _fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+@pytest.mark.parametrize("rule", sorted(CASES))
+def test_bad_fixture_triggers_rule(rule):
+    pretend_dir, expected = CASES[rule]
+    stem = rule.lower()
+    violations = lint_file(
+        _fixture(f"{stem}_bad.py"),
+        rules=[rule],
+        pretend_path=f"{pretend_dir}/{stem}_bad.py",
+    )
+    assert len(violations) == expected, [str(v) for v in violations]
+    assert all(v.rule == rule for v in violations)
+    assert all(v.line > 0 and v.message for v in violations)
+
+
+@pytest.mark.parametrize("rule", sorted(CASES))
+def test_good_fixture_is_clean(rule):
+    pretend_dir, _expected = CASES[rule]
+    stem = rule.lower()
+    violations = lint_file(
+        _fixture(f"{stem}_good.py"),
+        rules=[rule],
+        pretend_path=f"{pretend_dir}/{stem}_good.py",
+    )
+    assert violations == [], [str(v) for v in violations]
+
+
+def test_suppression_comment_silences_one_rule():
+    source = "def f(server):\n    return server.region.read_u64(0)\n"
+    path = "src/repro/index/x.py"
+    assert len(lint_source(source, path)) == 1
+    suppressed = source.replace(
+        "read_u64(0)", "read_u64(0)  # namsan: allow[N03]"
+    )
+    assert lint_source(suppressed, path) == []
+    wildcard = source.replace("read_u64(0)", "read_u64(0)  # namsan: allow[*]")
+    assert lint_source(wildcard, path) == []
+    # Suppressing a different rule does not help.
+    wrong = source.replace("read_u64(0)", "read_u64(0)  # namsan: allow[N05]")
+    assert len(lint_source(wrong, path)) == 1
+
+
+def test_n03_scoped_to_index_and_btree():
+    source = "def f(server):\n    server.region.write_u64(0, 1)\n"
+    assert len(lint_source(source, "src/repro/index/x.py")) == 1
+    assert len(lint_source(source, "src/repro/btree/x.py")) == 1
+    # The verbs layer and the cluster control plane are allowed.
+    assert lint_source(source, "src/repro/rdma/x.py") == []
+    assert lint_source(source, "src/repro/nam/x.py") == []
+    # The accessor layer is the exemption that makes the rule meaningful.
+    assert lint_source(source, "src/repro/index/accessors.py") == []
+
+
+def test_n01_scoped_to_simulated_system():
+    source = "import time\n\ndef f():\n    return time.time()\n"
+    assert len(lint_source(source, "src/repro/sim/x.py")) == 1
+    assert len(lint_source(source, "src/repro/rdma/x.py")) == 1
+    # Experiment drivers may read wall clocks (progress printing etc).
+    assert lint_source(source, "src/repro/experiments/x.py") == []
+
+
+def test_n04_allows_system_exit_only_under_main_guard():
+    bare = "def f():\n    raise SystemExit(2)\n"
+    assert [v.rule for v in lint_source(bare, "src/repro/nam/x.py")] == ["N04"]
+    guarded = bare + "\nif __name__ == '__main__':\n    f()\n"
+    assert lint_source(guarded, "src/repro/nam/x.py") == []
+
+
+def test_unknown_rule_rejected():
+    with pytest.raises(AnalysisError):
+        lint_source("x = 1\n", "src/repro/nam/x.py", rules=["N99"])
+
+
+def test_unparseable_source_rejected():
+    with pytest.raises(AnalysisError):
+        lint_source("def f(:\n", "src/repro/nam/x.py")
+
+
+def test_repository_tree_is_lint_clean():
+    """The acceptance criterion: namsan lint exits clean on src/repro."""
+    violations = lint_paths([REPO_SRC])
+    assert violations == [], "\n".join(str(v) for v in violations)

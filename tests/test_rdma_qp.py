@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Cluster, ClusterConfig
+from repro import Cluster
 from repro.nam.rpc import AckResponse, PointLookupRequest
 from repro.rdma.verbs import Verb
 

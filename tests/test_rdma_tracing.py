@@ -11,7 +11,6 @@ from repro import (
 )
 from repro.rdma.tracing import VerbTracer
 from repro.rdma.verbs import Verb
-from repro.workloads import generate_dataset
 
 
 @pytest.fixture

@@ -161,7 +161,7 @@ def test_unhandled_child_exception_fails_waiting_process():
     def parent():
         yield sim.process(child())
 
-    p = sim.process(parent())
+    sim.process(parent())
     with pytest.raises(ValueError, match="boom"):
         sim.run()
 
