@@ -25,6 +25,7 @@ All public methods are simulation processes (drive them with
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.btree.accessor import NodeAccessor, RootRef
@@ -185,12 +186,16 @@ class BLinkTree:
         prefetched: Dict[int, Node] = {}
         seen_heads = set()
         while True:
-            for key, value in zip(node.keys, node.values):
-                if key < low or is_tombstoned(value):
-                    continue
+            # Keys are sorted: bisect to the first in-range entry instead of
+            # scanning past everything below *low*.
+            start = bisect_left(node.keys, low)
+            for index in range(start, len(node.keys)):
+                key = node.keys[index]
                 if key >= high:
                     return results
-                results.append((key, strip_tombstone(value)))
+                value = node.values[index]
+                if not is_tombstoned(value):
+                    results.append((key, strip_tombstone(value)))
             if node.high_key >= high or is_null(node.right):
                 return results
             if (
@@ -484,8 +489,6 @@ class BLinkTree:
 
     @staticmethod
     def _first_live_index(node: Node, key: int) -> Optional[int]:
-        from bisect import bisect_left
-
         index = bisect_left(node.keys, key)
         while index < len(node.keys) and node.keys[index] == key:
             if not is_tombstoned(node.values[index]):

@@ -29,7 +29,6 @@ from __future__ import annotations
 import array
 import struct
 from bisect import bisect_left, bisect_right
-from itertools import chain
 from typing import List, Optional, Tuple
 
 from repro.errors import IndexError_
@@ -142,8 +141,14 @@ class Node:
     # -- serialization ---------------------------------------------------------
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "Node":
-        """Decode a page image (as fetched by an RDMA READ)."""
+    def from_bytes(cls, data) -> "Node":
+        """Decode a page image (as fetched by an RDMA READ).
+
+        *data* may be ``bytes``, ``bytearray`` or a ``memoryview`` — the
+        co-located fast path hands in a read-only view straight into the
+        registered region (:meth:`MemoryRegion.read_view`) and decoding
+        copies nothing but the entry words themselves.
+        """
         if len(data) < HEADER_BYTES:
             raise IndexError_(f"page image too small: {len(data)} bytes")
         version, meta, right, head, high_key = _HEADER.unpack_from(data)
@@ -158,8 +163,15 @@ class Node:
         values = list(words[1::2])
         return cls(node_type, level, version, right, head, high_key, keys, values)
 
-    def to_bytes(self, page_size: int) -> bytes:
-        """Encode this node as a page image of exactly *page_size* bytes."""
+    def to_bytes(self, page_size: int) -> bytearray:
+        """Encode this node as a page image of exactly *page_size* bytes.
+
+        Serializes directly into one buffer: header packed in place, entry
+        words written through a strided memoryview (keys to even slots,
+        values to odd), no intermediate interleaved array and no final
+        copy. The returned bytearray is freshly allocated and unaliased, so
+        callers may write it to a region or hand it to a queue pair as-is.
+        """
         count = len(self.keys)
         if count != len(self.values):
             raise IndexError_("node has mismatched key/value counts")
@@ -172,9 +184,16 @@ class Node:
         _HEADER.pack_into(page, 0, self.version, meta, self.right, self.head,
                           self.high_key)
         if count:
-            flat = array.array("Q", chain.from_iterable(zip(self.keys, self.values)))
-            page[HEADER_BYTES : HEADER_BYTES + 16 * count] = flat.tobytes()
-        return bytes(page)
+            base = HEADER_BYTES // 8
+            words = memoryview(page).cast("Q")
+            words[base : base + 2 * count : 2] = memoryview(
+                array.array("Q", self.keys)
+            )
+            words[base + 1 : base + 2 * count : 2] = memoryview(
+                array.array("Q", self.values)
+            )
+            words.release()
+        return page
 
     # -- searching -------------------------------------------------------------
 

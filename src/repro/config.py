@@ -41,12 +41,25 @@ class NetworkConfig:
     #: Local-memory fast path (co-located compute+memory, Appendix A.3).
     local_access_latency_s: float = 0.2e-6
     local_memory_bandwidth_bytes_per_s: float = 50.0e9
+    #: Doorbell batching (FaRM-style): queue pairs may chain several
+    #: one-sided verbs to the same server into one posted batch — one
+    #: request message carrying the summed payloads and, via selective
+    #: signaling, one completion/response message for the whole batch.
+    #: Consumers: head-node prefetch fan-out (``read_many``/``read_nodes``)
+    #: and ``unlock_write``'s WRITE+FETCH_ADD pair. See docs/performance.md.
+    doorbell_batching: bool = True
+    #: Most work-queue entries one doorbell may flush (send-queue depth a
+    #: single post can chain); larger fan-outs are split into several
+    #: batches posted in parallel.
+    max_batch_wqes: int = 16
 
     def __post_init__(self) -> None:
         if self.one_way_latency_s < 0:
             raise ConfigurationError("one_way_latency_s must be >= 0")
         if self.port_bandwidth_bytes_per_s <= 0:
             raise ConfigurationError("port_bandwidth_bytes_per_s must be > 0")
+        if self.max_batch_wqes < 1:
+            raise ConfigurationError("max_batch_wqes must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -141,10 +154,20 @@ class RetryConfig:
     backoff_multiplier: float = 2.0
     jitter_fraction: float = 0.25
     lock_lease_s: float = 5e-3
+    #: Replayed-response cache entries each queue pair keeps for at-most-
+    #: once RPC dedup (:meth:`repro.rdma.qp.QueuePair.rpc_finish`): a
+    #: retransmit whose sequence number is still cached replays the stored
+    #: response instead of re-running the handler. An entry must survive
+    #: until its call's last possible retransmit, i.e. for the retry
+    #: budget; undersizing the cache relative to the calls a QP can have
+    #: in flight over that window re-executes handlers on late duplicates.
+    rpc_dedup_cache_entries: int = 128
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ConfigurationError("max_attempts must be >= 1")
+        if self.rpc_dedup_cache_entries < 1:
+            raise ConfigurationError("rpc_dedup_cache_entries must be >= 1")
         if self.timeout_s <= 0:
             raise ConfigurationError("timeout_s must be > 0")
         if self.base_delay_s < 0:
@@ -167,6 +190,25 @@ class RetryConfig:
                 f"({self.retry_budget_s:g}s = max_attempts * (timeout_s + "
                 f"max backoff)); a slow-but-alive lock holder may be robbed "
                 f"mid-write. Use lock_lease_s >= {2.0 * self.retry_budget_s:g}.",
+                ConfigurationWarning,
+                stacklevel=3,
+            )
+        # Cross-field sanity: each retried RPC may occupy a dedup slot for
+        # its whole retry budget, so a cache that cannot hold a handful of
+        # concurrent calls times their retransmit count can evict a live
+        # entry — and a late duplicate of the evicted call then *re-runs*
+        # its handler, silently breaking at-most-once execution under long
+        # retry budgets. Warn rather than reject: unit tests deliberately
+        # shrink the cache to exercise eviction.
+        if self.rpc_dedup_cache_entries < 4 * self.max_attempts:
+            warnings.warn(
+                f"rpc_dedup_cache_entries={self.rpc_dedup_cache_entries} is "
+                f"small relative to max_attempts={self.max_attempts}; a "
+                f"dedup entry can be evicted while its call's retransmits "
+                f"are still in flight (retry budget {self.retry_budget_s:g}s), "
+                f"re-executing the handler and breaking at-most-once RPC "
+                f"semantics. Use rpc_dedup_cache_entries >= "
+                f"{4 * self.max_attempts}.",
                 ConfigurationWarning,
                 stacklevel=3,
             )

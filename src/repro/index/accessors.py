@@ -116,9 +116,15 @@ class LocalAccessor(NodeAccessor):
     def read_node(self, raw_ptr: int) -> Generator[Any, Any, Node]:
         offset = self._offset(raw_ptr)
         yield self.server.cpu(self._node_cost)
-        data = self.region.read(offset, self.page_size)
+        # Zero-copy: decode straight out of the region through a read-only
+        # view, consumed before the next simulation yield (holding it longer
+        # would block region growth — see MemoryRegion.read_view).
+        view = self.region.read_view(offset, self.page_size)
         self._emit("read", "LOCAL_READ", offset, self.page_size)
-        return Node.from_bytes(data)
+        try:
+            return Node.from_bytes(view)
+        finally:
+            view.release()
 
     def write_node(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
         offset = self._offset(raw_ptr)
@@ -167,13 +173,24 @@ class RemoteAccessor(NodeAccessor):
     """Node access from a compute server through one-sided verbs."""
 
     def __init__(
-        self, compute_server: ComputeServer, config, alloc_server_id: int = None
+        self,
+        compute_server: ComputeServer,
+        config,
+        alloc_server_id: int = None,
+        batch_verbs: bool = None,
     ) -> None:
         self.compute_server = compute_server
         self.config = config
         self.page_size = config.tree.page_size
         self._search_cost = config.cpu.client_per_node_cost_s
         self._spin_slice = config.cpu.spin_wait_slice_s
+        # Doorbell batching for multi-verb operations (prefetch fan-out,
+        # write+FAA unlocks). ``batch_verbs`` overrides the cluster-wide
+        # NetworkConfig.doorbell_batching default per index build.
+        self._batching = (
+            config.network.doorbell_batching if batch_verbs is None else batch_verbs
+        )
+        self._max_wqes = config.network.max_batch_wqes
         # Stagger allocation round-robin across compute servers so they do
         # not all bump the same server's allocator in lockstep. When
         # ``alloc_server_id`` is given, all pages go to that server instead
@@ -220,9 +237,50 @@ class RemoteAccessor(NodeAccessor):
         return Node.from_bytes(data)
 
     def read_nodes(self, raw_ptrs) -> Generator[Any, Any, List[Node]]:
+        """Fetch several nodes at once (head-node prefetch fan-out).
+
+        With doorbell batching the pointers are grouped by home server and
+        each group is posted as chains of up to ``max_batch_wqes`` READs —
+        one doorbell and one request/response message pair per chain,
+        instead of one per node. Groups on different servers still overlap
+        in time. Without batching each node is its own parallel READ (the
+        seed behavior). Results come back in ``raw_ptrs`` order either way.
+        """
         sim = self.compute_server.sim
-        pending = [sim.process(self.read_node(raw)) for raw in raw_ptrs]
-        nodes = yield sim.all_of(pending)
+        raw_ptrs = list(raw_ptrs)
+        if not self._batching or len(raw_ptrs) < 2:
+            pending = [sim.process(self.read_node(raw)) for raw in raw_ptrs]
+            nodes = yield sim.all_of(pending)
+            return nodes
+        by_server: dict = {}
+        for slot, raw in enumerate(raw_ptrs):
+            pointer = RemotePointer.from_raw(raw)
+            by_server.setdefault(pointer.server_id, []).append(
+                (slot, pointer.offset)
+            )
+        nodes: List[Node] = [None] * len(raw_ptrs)
+
+        def read_group(server_id, members) -> Generator[Any, Any, None]:
+            for start in range(0, len(members), self._max_wqes):
+                chunk = members[start : start + self._max_wqes]
+
+                def op(chunk=chunk) -> Generator[Any, Any, list]:
+                    qp = self.compute_server.qp(server_id)
+                    batch = qp.batch()
+                    for _slot, offset in chunk:
+                        batch.read(offset, self.page_size)
+                    return (yield from batch.execute())
+
+                pages = yield from self._failover(server_id, op)
+                yield sim.timeout(self._search_cost * len(chunk))
+                for (slot, _offset), data in zip(chunk, pages):
+                    nodes[slot] = Node.from_bytes(data)
+
+        pending = [
+            sim.process(read_group(server_id, members))
+            for server_id, members in by_server.items()
+        ]
+        yield sim.all_of(pending)
         return nodes
 
     def write_node(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
@@ -256,6 +314,21 @@ class RemoteAccessor(NodeAccessor):
         pointer = RemotePointer.from_raw(raw_ptr)
         node.version |= 1
         data = node.to_bytes(self.page_size)
+
+        if self._batching:
+            # One doorbell: the page WRITE and the releasing FAA travel in
+            # a single chain. RC in-order execution applies the write
+            # before the version bump, so the unlock is still a release
+            # store — and the two round trips collapse into one.
+            def batch_op() -> Generator[Any, Any, list]:
+                qp = self.compute_server.qp(pointer.server_id)
+                batch = qp.batch()
+                batch.write(pointer.offset, data)
+                batch.fetch_and_add(pointer.offset, 1)
+                return (yield from batch.execute())
+
+            yield from self._failover(pointer.server_id, batch_op)
+            return
 
         def write_op() -> Generator[Any, Any, None]:
             qp = self.compute_server.qp(pointer.server_id)

@@ -4,7 +4,7 @@ from repro.rdma.fabric import Fabric
 from repro.rdma.faults import ComputeCrash, FaultInjector, FaultPlan, ServerCrash
 from repro.rdma.memory import MemoryRegion
 from repro.rdma.nic import Nic, NicPort
-from repro.rdma.qp import QueuePair, RpcEnvelope
+from repro.rdma.qp import QueuePair, RpcEnvelope, VerbBatch
 from repro.rdma.verbs import Verb, VerbStats
 
 __all__ = [
@@ -19,5 +19,6 @@ __all__ = [
     "RpcEnvelope",
     "ServerCrash",
     "Verb",
+    "VerbBatch",
     "VerbStats",
 ]

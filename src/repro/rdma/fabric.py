@@ -41,6 +41,13 @@ class Fabric:
         #: recording every one-sided memory effect for race detection.
         #: While None (the default) emission is a single attribute test.
         self.sanitizer = None
+        # Monotone id for doorbell batches (tracing/debugging only).
+        self._batch_seq = 0
+
+    def next_batch_id(self) -> int:
+        """A fabric-unique id naming one doorbell batch."""
+        self._batch_seq += 1
+        return self._batch_seq
 
     def attach_injector(self, injector) -> None:
         """Install a fault injector on every queue pair using this fabric."""

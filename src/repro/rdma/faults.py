@@ -215,6 +215,26 @@ class FaultInjector:
             return True
         return False
 
+    def should_drop_batch(self, verbs, server_id: int) -> bool:
+        """One drop decision for a doorbell-batched message leg.
+
+        A batch's request (and its selectively-signaled response) is one
+        wire message carrying several verbs' payloads, so it is delivered
+        or lost as a unit. The leg inherits the *worst* (highest) drop
+        probability among the batched verbs — a batch is at least as
+        exposed as its most fragile member — and draws once from the same
+        seeded stream as single-verb decisions.
+        """
+        if not self._messages_faulty():
+            return False
+        p = max(self._drop_probability(verb, server_id) for verb in verbs)
+        if p <= 0.0:
+            return False
+        if self.rng.random() < p:
+            self.stats["drops"] += 1
+            return True
+        return False
+
     def extra_delay(self, verb: Verb, server_id: int) -> float:
         """Extra seconds of latency for one (delivered) message, or 0."""
         if not self._messages_faulty() or self.plan.delay_probability <= 0.0:

@@ -87,7 +87,23 @@ class MemoryRegion:
         if offset < 0 or length < 0:
             raise RemoteAccessError(f"bad read at offset={offset}, length={length}")
         self._ensure(offset + length)
-        return bytes(self._buf[offset : offset + length])
+        # Slice through a memoryview: one copy into the result instead of
+        # bytearray-slice-then-bytes (two).
+        return bytes(memoryview(self._buf)[offset : offset + length])
+
+    def read_view(self, offset: int, length: int) -> memoryview:
+        """A zero-copy read-only view of *length* bytes at *offset*.
+
+        Hazard: while any view is alive the underlying bytearray cannot
+        grow, so a write past the current end raises ``BufferError``. Views
+        are therefore for *immediate* consumption on the co-located fast
+        path (parse a page, drop the view) — never hold one across a
+        simulation yield or stash it in a cache. See docs/performance.md.
+        """
+        if offset < 0 or length < 0:
+            raise RemoteAccessError(f"bad read at offset={offset}, length={length}")
+        self._ensure(offset + length)
+        return memoryview(self._buf)[offset : offset + length].toreadonly()
 
     def write(self, offset: int, data: bytes) -> None:
         """Store *data* at *offset*."""

@@ -19,7 +19,14 @@ __all__ = ["NicPort", "Nic"]
 
 
 class NicPort:
-    """One NIC port: a TX and an RX bandwidth channel."""
+    """One NIC port: a TX and an RX bandwidth channel.
+
+    The port also keeps doorbell statistics: every logical verb post —
+    a single verb or a doorbell batch of several work-queue entries —
+    rings the doorbell once (:meth:`ring_doorbell`). ``wqes_posted /
+    doorbells`` is therefore the achieved batching factor, the number the
+    batching benchmark and tests assert on.
+    """
 
     def __init__(self, sim: Simulator, config: NetworkConfig, label: str) -> None:
         self.label = label
@@ -29,6 +36,15 @@ class NicPort:
         self.rx = BandwidthChannel(
             sim, config.port_bandwidth_bytes_per_s, config.message_overhead_s
         )
+        #: MMIO doorbell writes from queue pairs using this port.
+        self.doorbells = 0
+        #: Work-queue entries those doorbells flushed.
+        self.wqes_posted = 0
+
+    def ring_doorbell(self, wqes: int = 1) -> None:
+        """Account one doorbell write flushing *wqes* work-queue entries."""
+        self.doorbells += 1
+        self.wqes_posted += wqes
 
     def traffic(self) -> Tuple[int, int]:
         """``(bytes_tx, bytes_rx)`` that crossed this port so far."""

@@ -15,6 +15,14 @@ When the cluster is co-located (Appendix A.3) and the remote server lives on
 the same physical machine, one-sided verbs take the local-memory fast path
 and bypass the NIC entirely.
 
+Doorbell batching: several one-sided verbs to the same server can be
+chained into a :class:`VerbBatch` (:meth:`QueuePair.batch`) and posted with
+a single doorbell — one request wire message carrying every work-queue
+entry's payload and, via selective signaling (only the last WQE is posted
+signaled), one response/completion message for the whole batch. Per-message
+fixed costs are paid once per leg instead of once per verb; effects apply
+in posting order. See docs/performance.md.
+
 Fault handling: while a :class:`~repro.rdma.faults.FaultInjector` is
 attached to the fabric, every non-local verb runs an attempt loop governed
 by :class:`~repro.config.RetryConfig` — a lost request or response is
@@ -32,18 +40,20 @@ fault-free build.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
-from repro.errors import RetriesExhaustedError
+from repro.errors import NetworkError, RetriesExhaustedError
 from repro.rdma.fabric import Fabric
 from repro.rdma.nic import NicPort
 from repro.rdma.verbs import Verb
 from repro.sim import Event, Simulator
 
-__all__ = ["QueuePair", "RpcEnvelope"]
+__all__ = ["QueuePair", "RpcEnvelope", "VerbBatch"]
 
 _UNSET = object()
 #: Replayed-response cache entries kept per QP (at-most-once RPC dedup).
+#: Fallback used when no injector is attached; under fault injection the
+#: limit comes from :attr:`repro.config.RetryConfig.rpc_dedup_cache_entries`.
 _RPC_CACHE_LIMIT = 128
 
 
@@ -133,7 +143,13 @@ class QueuePair:
 
     # -- one-sided verbs -------------------------------------------------------
 
-    def _trace(self, verb: Verb, payload_bytes: int, started_at: float) -> None:
+    def _trace(
+        self,
+        verb: Verb,
+        payload_bytes: int,
+        started_at: float,
+        batch_id: Optional[int] = None,
+    ) -> None:
         tracer = self.fabric.tracer
         if tracer is not None:
             tracer.record(
@@ -143,7 +159,12 @@ class QueuePair:
                 started_at,
                 self.sim.now,
                 local=self.is_local,
+                batch_id=batch_id,
             )
+
+    def batch(self) -> "VerbBatch":
+        """Start a doorbell batch of one-sided verbs on this connection."""
+        return VerbBatch(self)
 
     # -- sanitizer-visible region effects -------------------------------------
     #
@@ -265,6 +286,8 @@ class QueuePair:
 
     def read(self, offset: int, length: int) -> Generator[Any, Any, bytes]:
         """RDMA READ *length* bytes at *offset* of the remote region."""
+        if not self.is_local:
+            self.local_port.ring_doorbell()
         if self.fabric.injector is not None and not self.is_local:
             return (
                 yield from self._faulty_onesided(
@@ -287,6 +310,8 @@ class QueuePair:
 
     def write(self, offset: int, data: bytes) -> Generator[Any, Any, None]:
         """RDMA WRITE *data* at *offset* of the remote region."""
+        if not self.is_local:
+            self.local_port.ring_doorbell()
         if self.fabric.injector is not None and not self.is_local:
             return (
                 yield from self._faulty_onesided(
@@ -324,6 +349,8 @@ class QueuePair:
         self, offset: int, expected: int, new: int
     ) -> Generator[Any, Any, Tuple[bool, int]]:
         """RDMA CAS on the 8-byte word at *offset*; returns ``(swapped, old)``."""
+        if not self.is_local:
+            self.local_port.ring_doorbell()
         if self.fabric.injector is not None and not self.is_local:
             return (
                 yield from self._faulty_onesided(
@@ -347,6 +374,8 @@ class QueuePair:
 
     def fetch_and_add(self, offset: int, delta: int) -> Generator[Any, Any, int]:
         """RDMA FETCH_AND_ADD on the 8-byte word at *offset*; returns old value."""
+        if not self.is_local:
+            self.local_port.ring_doorbell()
         if self.fabric.injector is not None and not self.is_local:
             return (
                 yield from self._faulty_onesided(
@@ -368,18 +397,43 @@ class QueuePair:
         return old
 
     def read_many(self, requests) -> Generator[Any, Any, list]:
-        """Issue several READs in parallel and wait for all of them.
+        """Issue several READs at once and wait for all of them.
 
         Used for head-node prefetching (Section 4.3): the scan overlaps the
         round trips of up to ``prefetch_window`` leaf reads.
         *requests* is an iterable of ``(offset, length)`` pairs; the return
         value is the list of byte strings in request order.
+
+        With ``doorbell_batching`` enabled the reads are posted as doorbell
+        batches of up to ``max_batch_wqes`` work-queue entries each — one
+        request/response message pair per batch instead of per read.
+        Otherwise each read is its own parallel verb (the seed behavior).
         """
-        pending = [
-            self.sim.process(self.read(offset, length)) for offset, length in requests
+        requests = list(requests)
+        config = self.fabric.config
+        if self.is_local or not config.doorbell_batching or len(requests) < 2:
+            pending = [
+                self.sim.process(self.read(offset, length))
+                for offset, length in requests
+            ]
+            results = yield self.sim.all_of(pending)
+            return results
+        chunks = [
+            requests[i : i + config.max_batch_wqes]
+            for i in range(0, len(requests), config.max_batch_wqes)
         ]
-        results = yield self.sim.all_of(pending)
-        return results
+
+        def run_chunk(chunk) -> Generator[Any, Any, list]:
+            batch = self.batch()
+            for offset, length in chunk:
+                batch.read(offset, length)
+            return (yield from batch.execute())
+
+        if len(chunks) == 1:
+            return (yield from run_chunk(chunks[0]))
+        pending = [self.sim.process(run_chunk(chunk)) for chunk in chunks]
+        grouped = yield self.sim.all_of(pending)
+        return [data for group in grouped for data in group]
 
     # -- two-sided RPC ---------------------------------------------------------
 
@@ -390,6 +444,8 @@ class QueuePair:
         handled by one of its RPC workers; the response value of that
         handler is returned here.
         """
+        if not self.is_local:
+            self.local_port.ring_doorbell()
         injector = self.fabric.injector
         if injector is not None and not self.is_local:
             return (yield from self._faulty_call(request, request_wire_bytes, injector))
@@ -467,7 +523,13 @@ class QueuePair:
         """Remember the handler outcome so retransmits replay, not re-run."""
         self._rpc_inflight.discard(seq)
         self._rpc_cache[seq] = (response, wire_bytes)
-        while len(self._rpc_cache) > _RPC_CACHE_LIMIT:
+        injector = self.fabric.injector
+        limit = (
+            injector.retry.rpc_dedup_cache_entries
+            if injector is not None
+            else _RPC_CACHE_LIMIT
+        )
+        while len(self._rpc_cache) > limit:
             self._rpc_cache.pop(next(iter(self._rpc_cache)))
 
     def rpc_cached(self, seq: int):
@@ -494,3 +556,227 @@ class QueuePair:
                 reply.succeed(response)
 
         self.sim.process(ship())
+
+
+class VerbBatch:
+    """One-sided verbs chained behind a single doorbell (Section 2.1).
+
+    The posting methods (:meth:`read`, :meth:`write`,
+    :meth:`compare_and_swap`, :meth:`fetch_and_add`) only *stage* work-queue
+    entries; nothing touches the wire until :meth:`execute`, which rings the
+    doorbell once and ships every entry in one request message. Only the
+    last WQE is posted signaled (selective signaling), so the server's
+    single response message acknowledges the whole chain. On an RC queue
+    pair the NIC executes the entries in posting order, which is what makes
+    a WRITE-then-FAA unlock batch a release store followed by the version
+    bump — see docs/performance.md.
+
+    Wire costs are exactly the sum of the per-verb request/response sizes;
+    what a batch saves is the per-message fixed overhead (header +
+    ``message_overhead_s``) and the extra round trips. Each verb still
+    produces its own completion value: :meth:`execute` returns the results
+    in posting order.
+
+    Under fault injection the batch's two wire legs live or die as a unit
+    (one drop draw per leg, at the most fault-prone member's probability),
+    while memory effects keep per-verb at-most-once replay semantics across
+    retries, exactly like single verbs.
+    """
+
+    __slots__ = ("qp", "_ops", "_executed")
+
+    def __init__(self, qp: QueuePair) -> None:
+        self.qp = qp
+        # (verb, payload_bytes, request_bytes, response_bytes, effect,
+        #  atomic, mirror_bytes) per staged WQE.
+        self._ops: List[Tuple] = []
+        self._executed = False
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def _stage(
+        self,
+        verb: Verb,
+        payload_bytes: int,
+        request_bytes: int,
+        response_bytes: int,
+        effect: Callable[[], Any],
+        atomic: bool = False,
+        mirror_bytes: Optional[Callable[[Any], int]] = None,
+    ) -> "VerbBatch":
+        if self._executed:
+            raise NetworkError("cannot post to an already-executed VerbBatch")
+        self._ops.append(
+            (verb, payload_bytes, request_bytes, response_bytes, effect,
+             atomic, mirror_bytes)
+        )
+        return self
+
+    # -- posting (returns self for chaining) ---------------------------------
+
+    def read(self, offset: int, length: int) -> "VerbBatch":
+        """Stage an RDMA READ of *length* bytes at *offset*."""
+        qp = self.qp
+        return self._stage(
+            Verb.READ,
+            length,
+            self.qp.fabric.config.request_wire_bytes,
+            length,
+            lambda: qp._apply_read(offset, length),
+        )
+
+    def write(self, offset: int, data: bytes) -> "VerbBatch":
+        """Stage an RDMA WRITE of *data* at *offset*."""
+        qp = self.qp
+        return self._stage(
+            Verb.WRITE,
+            len(data),
+            self.qp.fabric.config.request_wire_bytes + len(data),
+            0,
+            lambda: qp._apply_write(offset, data),
+            mirror_bytes=lambda _result, n=len(data): n,
+        )
+
+    def compare_and_swap(self, offset: int, expected: int, new: int) -> "VerbBatch":
+        """Stage an RDMA CAS; its result slot gets ``(swapped, old)``."""
+        qp = self.qp
+        return self._stage(
+            Verb.CAS,
+            8,
+            self.qp.fabric.config.request_wire_bytes + 16,
+            8,
+            lambda: qp._apply_cas(offset, expected, new),
+            atomic=True,
+            mirror_bytes=lambda result: 8 if result[0] else 0,
+        )
+
+    def fetch_and_add(self, offset: int, delta: int) -> "VerbBatch":
+        """Stage an RDMA FETCH_AND_ADD; its result slot gets the old value."""
+        qp = self.qp
+        return self._stage(
+            Verb.FETCH_ADD,
+            8,
+            self.qp.fabric.config.request_wire_bytes + 16,
+            8,
+            lambda: qp._apply_faa(offset, delta),
+            atomic=True,
+            mirror_bytes=lambda _result: 8,
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self) -> Generator[Any, Any, List[Any]]:
+        """Ring the doorbell: ship the chain, return per-verb results in
+        posting order."""
+        qp = self.qp
+        ops = self._ops
+        if self._executed:
+            raise NetworkError("VerbBatch already executed")
+        self._executed = True
+        if not ops:
+            return []
+        config = qp.fabric.config
+        request_bytes = sum(op[2] for op in ops)
+        response_bytes = sum(op[3] for op in ops)
+        payload_total = sum(op[1] for op in ops)
+        num_atomics = sum(1 for op in ops if op[5])
+        if not qp.is_local:
+            qp.local_port.ring_doorbell(len(ops))
+        batch_id = qp.fabric.next_batch_id()
+        if qp.fabric.injector is not None and not qp.is_local:
+            return (
+                yield from self._faulty_execute(
+                    request_bytes, response_bytes, num_atomics, batch_id
+                )
+            )
+        started_at = qp.sim.now
+        for verb, payload_bytes, *_rest in ops:
+            qp.remote.stats.record(verb, payload_bytes)
+        if qp.is_local:
+            yield from qp.fabric.local_copy(payload_total)
+        else:
+            yield from qp._request_leg(request_bytes)
+            if num_atomics:
+                yield qp.sim.timeout(num_atomics * config.atomic_extra_latency_s)
+            yield from qp._response_leg(response_bytes)
+        results: List[Any] = []
+        for _verb, _payload, _req, _resp, effect, _atomic, mirror_bytes in ops:
+            result = effect()
+            if mirror_bytes is not None:
+                yield from qp._mirror(mirror_bytes(result))
+            results.append(result)
+        if qp.fabric.tracer is not None:
+            for verb, payload_bytes, *_rest in ops:
+                qp._trace(verb, payload_bytes, started_at, batch_id=batch_id)
+        return results
+
+    def _faulty_execute(
+        self,
+        request_bytes: int,
+        response_bytes: int,
+        num_atomics: int,
+        batch_id: int,
+    ) -> Generator[Any, Any, List[Any]]:
+        """Attempt loop for a non-local batch under fault injection.
+
+        The request and response legs carry the whole chain, so each leg is
+        a single delivery draw (the most fault-prone member's probability);
+        per-WQE effects keep the at-most-once replay guarantee — a retry
+        after a lost *response* re-learns the cached outcomes instead of
+        re-executing writes or double-bumping atomics.
+        """
+        qp = self.qp
+        ops = self._ops
+        injector = qp.fabric.injector
+        retry = injector.retry
+        config = qp.fabric.config
+        server_id = qp.remote.server_id
+        verbs = [op[0] for op in ops]
+        lead_verb = verbs[0]
+        started_at = qp.sim.now
+        results: List[Any] = [_UNSET] * len(ops)
+        last_attempt = retry.max_attempts - 1
+        for attempt in range(retry.max_attempts):
+            for verb, payload_bytes, *_rest in ops:
+                qp.remote.stats.record(verb, payload_bytes)
+            yield from qp._request_leg(request_bytes)
+            if injector.should_duplicate(lead_verb, server_id):
+                # The NIC discards the duplicate; it only burns RX bandwidth.
+                qp.remote.port.rx.reserve(request_bytes + config.header_wire_bytes)
+            delivered = not injector.server_down(server_id) and not (
+                injector.should_drop_batch(verbs, server_id)
+            )
+            if delivered:
+                for i, op in enumerate(ops):
+                    if results[i] is _UNSET:
+                        effect, mirror_bytes = op[4], op[6]
+                        results[i] = effect()
+                        if mirror_bytes is not None:
+                            yield from qp._mirror(mirror_bytes(results[i]))
+                if num_atomics:
+                    yield qp.sim.timeout(
+                        num_atomics * config.atomic_extra_latency_s
+                    )
+                delay = injector.extra_delay(lead_verb, server_id)
+                if delay > 0.0:
+                    yield qp.sim.timeout(delay)
+                yield from qp._response_leg(response_bytes)
+                if not injector.server_down(server_id) and not (
+                    injector.should_drop_batch(verbs, server_id)
+                ):
+                    if qp.fabric.tracer is not None:
+                        for verb, payload_bytes, *_rest in ops:
+                            qp._trace(
+                                verb, payload_bytes, started_at, batch_id=batch_id
+                            )
+                    return results
+            # Request or response lost: wait out the detection timeout,
+            # then back off before re-posting the chain.
+            yield qp.sim.timeout(retry.timeout_s)
+            if attempt < last_attempt:
+                yield qp.sim.timeout(injector.backoff_delay(attempt))
+        raise RetriesExhaustedError(
+            f"doorbell batch of {len(ops)} verbs to memory server {server_id} "
+            f"gave up after {retry.max_attempts} attempts"
+        )

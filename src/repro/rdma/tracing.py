@@ -13,6 +13,12 @@ Usage::
     with VerbTracer(cluster) as tracer:
         cluster.execute(session.lookup(42))
     print(tracer.format())
+
+No-op fast path: with no tracer attached (``fabric.tracer is None``, the
+default) the verb hot paths pay exactly one attribute-is-None test per
+completed operation — no :class:`TraceRecord` is constructed, no argument
+tuple is built, nothing is appended. Measurement runs therefore leave the
+tracer detached; tracing is for understanding single operations.
 """
 
 from __future__ import annotations
@@ -36,6 +42,10 @@ class TraceRecord:
     finished_at: float
     #: True when the verb took the co-located local-memory fast path.
     local: bool = False
+    #: Doorbell batch this verb was posted in (None = posted alone).
+    #: Verbs sharing a ``batch_id`` traveled in one request message and
+    #: were acknowledged by one selectively-signaled completion.
+    batch_id: Optional[int] = None
 
     @property
     def duration(self) -> float:
@@ -71,10 +81,11 @@ class VerbTracer:
         started_at: float,
         finished_at: float,
         local: bool = False,
+        batch_id: Optional[int] = None,
     ) -> None:
         self.records.append(
             TraceRecord(verb, server_id, payload_bytes, started_at,
-                        finished_at, local)
+                        finished_at, local, batch_id)
         )
 
     # -- reporting ---------------------------------------------------------------
@@ -91,6 +102,25 @@ class VerbTracer:
     def total_payload_bytes(self) -> int:
         return sum(record.payload_bytes for record in self.records)
 
+    @property
+    def doorbells(self) -> int:
+        """Doorbell rings behind the non-local records: each batch counts
+        once, every unbatched verb counts for itself."""
+        batches = {r.batch_id for r in self.records
+                   if not r.local and r.batch_id is not None}
+        singles = sum(1 for r in self.records
+                      if not r.local and r.batch_id is None)
+        return len(batches) + singles
+
+    def batch_sizes(self) -> List[int]:
+        """Verb counts of the recorded doorbell batches (order of first
+        appearance)."""
+        sizes: dict = {}
+        for record in self.records:
+            if record.batch_id is not None:
+                sizes[record.batch_id] = sizes.get(record.batch_id, 0) + 1
+        return list(sizes.values())
+
     def count(self, verb: Verb) -> int:
         return sum(1 for record in self.records if record.verb == verb)
 
@@ -105,6 +135,8 @@ class VerbTracer:
         ]
         for record in self.records:
             label = record.verb.value + (" *local" if record.local else "")
+            if record.batch_id is not None:
+                label += f" b{record.batch_id}"
             lines.append(
                 f"{(record.started_at - t0) * 1e6:>8.2f} {label:<10s} "
                 f"{record.server_id:>6d} {record.payload_bytes:>7d} "

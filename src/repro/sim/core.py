@@ -256,6 +256,16 @@ class Simulator:
 
     # -- event factories ---------------------------------------------------
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events queued so far — the simulator's work counter.
+
+        Dividing it by the wall-clock seconds a run took gives the
+        engine's events/s rate, the metric the batching benchmark uses to
+        detect host-side (non-simulated-time) regressions.
+        """
+        return self._sequence
+
     def event(self) -> Event:
         """A fresh untriggered event (a mailbox another process can fire)."""
         return Event(self)

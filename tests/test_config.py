@@ -1,9 +1,17 @@
 """Tests for configuration validation."""
 
+import warnings
+
 import pytest
 
-from repro.config import ClusterConfig, CpuConfig, NetworkConfig, TreeConfig
-from repro.errors import ConfigurationError
+from repro.config import (
+    ClusterConfig,
+    CpuConfig,
+    NetworkConfig,
+    RetryConfig,
+    TreeConfig,
+)
+from repro.errors import ConfigurationError, ConfigurationWarning
 
 
 def test_defaults_are_valid():
@@ -51,6 +59,30 @@ def test_cluster_validation():
         ClusterConfig(memory_servers_per_machine=0)
     with pytest.raises(ConfigurationError):
         ClusterConfig(num_memory_servers=129)  # 7-bit server ids
+
+
+def test_network_batching_validation():
+    with pytest.raises(ConfigurationError):
+        NetworkConfig(max_batch_wqes=0)
+    assert NetworkConfig(max_batch_wqes=1).max_batch_wqes == 1
+    assert NetworkConfig().doorbell_batching is True
+
+
+def test_rpc_dedup_cache_validation():
+    with pytest.raises(ConfigurationError):
+        RetryConfig(rpc_dedup_cache_entries=0)
+
+
+def test_rpc_dedup_cache_eviction_warning():
+    # Small relative to the retry budget: a dedup entry can be evicted
+    # while its call's retransmits are still in flight.
+    with pytest.warns(ConfigurationWarning, match="rpc_dedup_cache_entries"):
+        RetryConfig(max_attempts=4, rpc_dedup_cache_entries=8)
+    # At or above 4x max_attempts no warning fires.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", ConfigurationWarning)
+        RetryConfig(max_attempts=4, rpc_dedup_cache_entries=16)
+        RetryConfig()
 
 
 def test_num_machines():

@@ -1,0 +1,555 @@
+"""Doorbell batching: VerbBatch semantics, wire accounting, fault
+interaction, and the batched index consumers.
+
+The contract under test:
+
+* a batch is ONE request message and ONE response message (selective
+  signaling) whose sizes are the sums of the member verbs' legs — the
+  per-message fixed costs are paid once per leg, not once per verb;
+* effects apply in posting order (a WRITE+FAA unlock batch is a release
+  store followed by the version bump);
+* per-verb results come back in posting order, and per-verb stats /
+  traces / doorbell counters stay exact;
+* under fault injection the two legs live or die as a unit while memory
+  effects keep at-most-once replay semantics across retries;
+* batched and unbatched executions return identical index results —
+  batching is a wire optimization, never a semantic change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Cluster,
+    ClusterConfig,
+    FaultPlan,
+    FineGrainedIndex,
+    RetriesExhaustedError,
+    ServerCrash,
+    verify_index,
+)
+from repro.analysis.namsan.events import TraceCollector
+from repro.analysis.namsan.sanitizer import RaceDetector
+from repro.btree.node import Node, NodeType
+from repro.btree.pointers import encode_pointer
+from repro.config import NetworkConfig, RetryConfig
+from repro.errors import NetworkError
+from repro.index.accessors import RemoteAccessor
+from repro.rdma.tracing import VerbTracer
+from repro.rdma.verbs import Verb
+from repro.workloads import WorkloadRunner, WorkloadSpec, generate_dataset
+
+
+@pytest.fixture
+def wired(cluster):
+    return cluster, cluster.new_compute_server()
+
+
+# --------------------------------------------------------------------------- #
+# VerbBatch semantics                                                          #
+# --------------------------------------------------------------------------- #
+
+class TestVerbBatchSemantics:
+    def test_results_in_posting_order(self, wired):
+        cluster, compute = wired
+        server = cluster.memory_server(0)
+        server.region.write(1024, b"aaaa")
+        server.region.write(2048, b"bb")
+        server.region.write(4096, b"cccccc")
+        batch = compute.qp(0).batch()
+        batch.read(4096, 6).read(1024, 4).read(2048, 2)
+        results = cluster.execute(batch.execute())
+        assert results == [b"cccccc", b"aaaa", b"bb"]
+
+    def test_effects_apply_in_posting_order(self, wired):
+        """WRITE then FAA on the same word: the FAA must see the written
+        value — in-order execution on the RC queue pair."""
+        cluster, compute = wired
+        server = cluster.memory_server(1)
+        server.region.write_u64(512, 7)
+        batch = compute.qp(1).batch()
+        batch.write(512, (100).to_bytes(8, "little"))
+        batch.fetch_and_add(512, 1)
+        results = cluster.execute(batch.execute())
+        assert results[0] is None
+        assert results[1] == 100  # old value AFTER the write, not 7
+        assert server.region.read_u64(512) == 101
+
+    def test_single_message_pair_wire_bytes(self, wired):
+        """N batched READs cost one request message (summed request words
+        + one header) and one response message (summed payloads + one
+        header) — exact, not approximate."""
+        cluster, compute = wired
+        server = cluster.memory_server(0)
+        network = cluster.config.network
+        n, length = 5, 256
+        tx0, rx0 = server.port.traffic()
+        batch = compute.qp(0).batch()
+        for i in range(n):
+            batch.read(i * length, length)
+        cluster.execute(batch.execute())
+        tx1, rx1 = server.port.traffic()
+        assert rx1 - rx0 == n * network.request_wire_bytes + network.header_wire_bytes
+        assert tx1 - tx0 == n * length + network.header_wire_bytes
+
+    def test_unbatched_pays_per_message_headers(self, wired):
+        cluster, compute = wired
+        server = cluster.memory_server(0)
+        network = cluster.config.network
+        n, length = 5, 256
+        tx0, rx0 = server.port.traffic()
+        for i in range(n):
+            cluster.execute(compute.qp(0).read(i * length, length))
+        tx1, rx1 = server.port.traffic()
+        assert rx1 - rx0 == n * (
+            network.request_wire_bytes + network.header_wire_bytes
+        )
+        assert tx1 - tx0 == n * (length + network.header_wire_bytes)
+
+    def test_batch_of_one_matches_single_verb_timing(self, wired):
+        cluster, compute = wired
+        start = cluster.now
+        cluster.execute(compute.qp(0).read(0, 1024))
+        single_elapsed = cluster.now - start
+        start = cluster.now
+        cluster.execute(compute.qp(0).batch().read(0, 1024).execute())
+        batch_elapsed = cluster.now - start
+        assert batch_elapsed == pytest.approx(single_elapsed)
+
+    def test_batched_faster_than_parallel_singles(self):
+        """On a message-rate-bound link the batch saves (N-1) per-message
+        overheads on each leg."""
+        config = ClusterConfig(
+            num_memory_servers=2,
+            seed=5,
+            network=NetworkConfig(message_overhead_s=1.0e-6),
+        )
+        n, length = 8, 512
+
+        def elapsed(batched: bool) -> float:
+            cluster = Cluster(config)
+            compute = cluster.new_compute_server()
+            requests = [(i * length, length) for i in range(n)]
+            start = cluster.now
+            if batched:
+                batch = compute.qp(0).batch()
+                for offset, size in requests:
+                    batch.read(offset, size)
+                cluster.execute(batch.execute())
+            else:
+                qp = compute.qp(0)
+                procs = [
+                    cluster.spawn(qp.read(offset, size))
+                    for offset, size in requests
+                ]
+                cluster.sim.run_until_complete(cluster.sim.all_of(procs))
+            return cluster.now - start
+
+        saved = elapsed(batched=False) - elapsed(batched=True)
+        # Each leg collapses n messages into one; parallel singles overlap
+        # some of their per-message costs with latency, so demand at least
+        # half of the (n-1) per-leg overheads back.
+        assert saved >= (n - 1) * 0.5e-6
+
+    def test_stats_recorded_per_verb(self, wired):
+        cluster, compute = wired
+        server = cluster.memory_server(2)
+        batch = compute.qp(2).batch()
+        batch.read(0, 128).write(256, b"x" * 64).fetch_and_add(512, 1)
+        cluster.execute(batch.execute())
+        assert server.stats.ops[Verb.READ] == 1
+        assert server.stats.bytes[Verb.READ] == 128
+        assert server.stats.ops[Verb.WRITE] == 1
+        assert server.stats.bytes[Verb.WRITE] == 64
+        assert server.stats.ops[Verb.FETCH_ADD] == 1
+
+    def test_doorbell_counters(self, wired):
+        cluster, compute = wired
+        qp = compute.qp(0)
+        port = qp.local_port
+        assert (port.doorbells, port.wqes_posted) == (0, 0)
+        cluster.execute(qp.read(0, 64))
+        assert (port.doorbells, port.wqes_posted) == (1, 1)
+        batch = qp.batch()
+        for i in range(4):
+            batch.read(i * 64, 64)
+        cluster.execute(batch.execute())
+        assert (port.doorbells, port.wqes_posted) == (2, 5)
+
+    def test_tracer_batch_id_shared_and_formatted(self, wired):
+        cluster, compute = wired
+        with VerbTracer(cluster) as tracer:
+            batch = compute.qp(0).batch()
+            batch.read(0, 64).read(64, 64).read(128, 64)
+            cluster.execute(batch.execute())
+            cluster.execute(compute.qp(0).read(0, 64))
+        batched = [r for r in tracer.records if r.batch_id is not None]
+        assert len(batched) == 3
+        assert len({r.batch_id for r in batched}) == 1
+        assert tracer.doorbells == 2  # one batch + one single verb
+        assert tracer.batch_sizes() == [3]
+        assert f"b{batched[0].batch_id}" in tracer.format()
+
+    def test_empty_batch_is_a_noop(self, wired):
+        cluster, compute = wired
+        qp = compute.qp(0)
+        before = (cluster.now, qp.local_port.doorbells)
+        results = cluster.execute(qp.batch().execute())
+        assert results == []
+        assert (cluster.now, qp.local_port.doorbells) == before
+
+    def test_post_after_execute_raises(self, wired):
+        cluster, compute = wired
+        batch = compute.qp(0).batch().read(0, 64)
+        cluster.execute(batch.execute())
+        with pytest.raises(NetworkError, match="already-executed"):
+            batch.read(64, 64)
+
+    def test_execute_twice_raises(self, wired):
+        cluster, compute = wired
+        batch = compute.qp(0).batch().read(0, 64)
+        cluster.execute(batch.execute())
+        with pytest.raises(NetworkError, match="already executed"):
+            cluster.execute(batch.execute())
+
+    def test_cas_in_batch(self, wired):
+        cluster, compute = wired
+        server = cluster.memory_server(0)
+        server.region.write_u64(64, 7)
+        batch = compute.qp(0).batch()
+        batch.compare_and_swap(64, 7, 9).compare_and_swap(64, 7, 11)
+        results = cluster.execute(batch.execute())
+        assert results[0] == (True, 7)
+        assert results[1] == (False, 9)  # sees the first CAS's effect
+        assert server.region.read_u64(64) == 9
+
+
+# --------------------------------------------------------------------------- #
+# read_many chunking                                                           #
+# --------------------------------------------------------------------------- #
+
+class TestReadMany:
+    def test_chunks_of_max_batch_wqes(self):
+        config = ClusterConfig(
+            num_memory_servers=2,
+            seed=3,
+            network=NetworkConfig(max_batch_wqes=4),
+        )
+        cluster = Cluster(config)
+        compute = cluster.new_compute_server()
+        server = cluster.memory_server(0)
+        requests = [(i * 64, 64) for i in range(10)]
+        for offset, length in requests:
+            server.region.write(offset, bytes([offset % 251]) * length)
+        with VerbTracer(cluster) as tracer:
+            results = cluster.execute(compute.qp(0).read_many(requests))
+        assert results == [
+            bytes([offset % 251]) * length for offset, length in requests
+        ]
+        assert sorted(tracer.batch_sizes()) == [2, 4, 4]
+        assert compute.qp(0).local_port.doorbells == 3
+
+    def test_falls_back_when_batching_disabled(self):
+        config = ClusterConfig(
+            num_memory_servers=2,
+            seed=3,
+            network=NetworkConfig(doorbell_batching=False),
+        )
+        cluster = Cluster(config)
+        compute = cluster.new_compute_server()
+        with VerbTracer(cluster) as tracer:
+            results = cluster.execute(
+                compute.qp(0).read_many([(0, 64), (64, 64), (128, 64)])
+            )
+        assert len(results) == 3
+        assert tracer.batch_sizes() == []
+        assert tracer.doorbells == 3
+
+    def test_single_request_stays_unbatched(self, wired):
+        cluster, compute = wired
+        with VerbTracer(cluster) as tracer:
+            results = cluster.execute(compute.qp(0).read_many([(0, 64)]))
+        assert len(results) == 1
+        assert tracer.batch_sizes() == []
+
+
+# --------------------------------------------------------------------------- #
+# fault interaction                                                            #
+# --------------------------------------------------------------------------- #
+
+class TestBatchFaults:
+    def test_read_many_correct_under_drop_delay_duplicate(self):
+        """A batch's two wire legs live or die as a unit; retries replay the
+        whole chain — the caller always gets every payload back intact."""
+        cluster = Cluster(ClusterConfig(num_memory_servers=2, seed=19))
+        compute = cluster.new_compute_server()
+        server = cluster.memory_server(0)
+        requests = [(4096 + i * 64, 64) for i in range(12)]
+        expected = []
+        for offset, length in requests:
+            payload = bytes([offset % 251]) * length
+            server.region.write(offset, payload)
+            expected.append(payload)
+        injector = cluster.attach_faults(
+            FaultPlan(
+                seed=3,
+                drop_probability=0.15,
+                delay_probability=0.1,
+                delay_s=20e-6,
+                duplicate_probability=0.1,
+            )
+        )
+        for _ in range(10):
+            assert cluster.execute(compute.qp(0).read_many(requests)) == expected
+        injector.quiesce()
+        assert injector.stats["drops"] > 0
+        assert injector.stats["retries"] > 0
+
+    def test_effects_replay_at_most_once(self):
+        """Response-leg loss must not double-apply the chain's memory
+        effects on retry: each FAA lands exactly once per successful batch,
+        at most once per abandoned one."""
+        cluster = Cluster(ClusterConfig(num_memory_servers=2, seed=23))
+        compute = cluster.new_compute_server()
+        region = cluster.memory_server(0).region
+        injector = cluster.attach_faults(FaultPlan(seed=5, drop_probability=0.3))
+        successes = []
+        for i in range(30):
+            base = 4096 + i * 16
+            batch = compute.qp(0).batch()
+            batch.fetch_and_add(base, 1).fetch_and_add(base + 8, 1)
+            try:
+                cluster.execute(batch.execute())
+            except RetriesExhaustedError:
+                successes.append(False)
+            else:
+                successes.append(True)
+        injector.quiesce()
+        assert injector.stats["drops"] > 0
+        for i, succeeded in enumerate(successes):
+            base = 4096 + i * 16
+            pair = (region.read_u64(base), region.read_u64(base + 8))
+            if succeeded:
+                # Never 2: a retry after a lost response must not re-add.
+                assert pair == (1, 1), (i, pair)
+            else:
+                # The request leg may or may not have landed before we
+                # gave up — but never more than once.
+                assert pair in ((0, 0), (1, 1)), (i, pair)
+
+    def test_duplicate_delivery_applies_effects_once(self):
+        cluster = Cluster(ClusterConfig(num_memory_servers=2, seed=29))
+        compute = cluster.new_compute_server()
+        region = cluster.memory_server(0).region
+        injector = cluster.attach_faults(
+            FaultPlan(seed=7, duplicate_probability=1.0)
+        )
+        batch = compute.qp(0).batch()
+        batch.fetch_and_add(4096, 1).write(8192, b"payload!")
+        cluster.execute(batch.execute())
+        injector.quiesce()
+        assert injector.stats["duplicates"] > 0
+        assert region.read_u64(4096) == 1
+        assert region.read(8192, 8) == b"payload!"
+
+    def test_retries_exhausted_names_the_batch(self):
+        cluster = Cluster(ClusterConfig(num_memory_servers=2, seed=31))
+        compute = cluster.new_compute_server()
+        cluster.attach_faults(FaultPlan(seed=9, server_drop={0: 1.0}))
+        batch = compute.qp(0).batch().read(0, 64).read(64, 64)
+        with pytest.raises(RetriesExhaustedError, match="doorbell batch of 2"):
+            cluster.execute(batch.execute())
+
+    def test_read_nodes_failover_mid_batch(self):
+        """A memory server dies while a scan-heavy workload fans out batched
+        leaf reads; with replication the batches fail over to the backup
+        and the tree stays intact."""
+        cluster = Cluster(
+            ClusterConfig(
+                num_memory_servers=3,
+                memory_servers_per_machine=1,
+                replication_factor=2,
+                seed=37,
+            )
+        )
+        dataset = generate_dataset(600, gap=4)
+        index = FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+        injector = cluster.attach_faults(
+            FaultPlan(
+                seed=11,
+                server_crashes=(ServerCrash(1, at_s=0.0015, down_for_s=0.002),),
+            )
+        )
+        spec = WorkloadSpec(
+            name="scan-heavy",
+            point_fraction=0.2,
+            range_fraction=0.7,
+            insert_fraction=0.1,
+            selectivity=0.05,
+        )
+        runner = WorkloadRunner(cluster, dataset, clients_per_compute_server=4)
+        result = runner.run(
+            index, spec, num_clients=8, warmup_s=0.001, measure_s=0.005, seed=13
+        )
+        assert result.total_ops > 0
+        assert injector.stats["server_crashes"] == 1
+        assert cluster.replication.stats["failovers"] >= 1
+        injector.quiesce()
+        report = verify_index(cluster, index)
+        assert report.ok, report.violations
+        cluster.replication.assert_replicas_converged()
+
+
+# --------------------------------------------------------------------------- #
+# batched unlock_write                                                         #
+# --------------------------------------------------------------------------- #
+
+def _plant_leaf(cluster, server_id: int, offset: int, version: int = 4):
+    """Write a well-formed leaf page into a server's region directly."""
+    page_size = cluster.config.tree.page_size
+    node = Node(
+        NodeType.LEAF, 0, version=version, keys=[10, 20], values=[1, 2]
+    )
+    cluster.memory_server(server_id).region.write(
+        offset, node.to_bytes(page_size)
+    )
+    return encode_pointer(server_id, offset), node
+
+
+class TestBatchedUnlockWrite:
+    def test_one_doorbell_two_wqes_and_version_parity(self, cluster):
+        compute = cluster.new_compute_server()
+        accessor = RemoteAccessor(compute, cluster.config)
+        raw_ptr, node = _plant_leaf(cluster, 0, 8192, version=4)
+        region = cluster.memory_server(0).region
+
+        locked = cluster.execute(accessor.try_lock(raw_ptr, 4))
+        assert locked and region.read_u64(8192) & 1
+
+        node.insert_entry(15, 99)
+        port = compute.qp(0).local_port
+        doorbells_before = port.doorbells
+        with VerbTracer(cluster) as tracer:
+            cluster.execute(accessor.unlock_write(raw_ptr, node))
+        # One doorbell carried both the page WRITE and the releasing FAA.
+        assert port.doorbells == doorbells_before + 1
+        assert tracer.batch_sizes() == [2]
+        assert [r.verb for r in tracer.records] == [Verb.WRITE, Verb.FETCH_ADD]
+        # The version word is even (unlocked), tag-free, and advanced; the
+        # page contents are the updated entries.
+        word = region.read_u64(8192)
+        assert word == 6
+        reread = cluster.execute(accessor.read_node(raw_ptr))
+        assert reread.keys == [10, 15, 20]
+        assert reread.values == [1, 99, 2]
+
+    def test_unbatched_override_uses_two_round_trips(self, cluster):
+        compute = cluster.new_compute_server()
+        accessor = RemoteAccessor(compute, cluster.config, batch_verbs=False)
+        raw_ptr, node = _plant_leaf(cluster, 1, 8192, version=4)
+        assert cluster.execute(accessor.try_lock(raw_ptr, 4))
+        with VerbTracer(cluster) as tracer:
+            cluster.execute(accessor.unlock_write(raw_ptr, node))
+        assert tracer.batch_sizes() == []
+        assert tracer.round_trips == 2
+        assert cluster.memory_server(1).region.read_u64(8192) == 6
+
+    def test_batched_chaos_workload_is_race_free(self):
+        """Insert-heavy chaos on the fine-grained design with batching on:
+        the WRITE->FAA chain must still publish the version word only
+        after the page contents — zero happens-before races."""
+        cluster = Cluster(
+            ClusterConfig(
+                num_memory_servers=3, memory_servers_per_machine=1, seed=29
+            )
+        )
+        dataset = generate_dataset(600, gap=4)
+        index = FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+        collector = TraceCollector().attach(cluster)
+        injector = cluster.attach_faults(
+            FaultPlan(
+                seed=31,
+                drop_probability=0.02,
+                delay_probability=0.05,
+                delay_s=30e-6,
+                duplicate_probability=0.02,
+            )
+        )
+        spec = WorkloadSpec(
+            name="batch-chaos",
+            point_fraction=0.3,
+            range_fraction=0.1,
+            insert_fraction=0.6,
+            selectivity=0.01,
+        )
+        runner = WorkloadRunner(cluster, dataset, clients_per_compute_server=2)
+        result = runner.run(
+            index, spec, num_clients=6, warmup_s=0.001, measure_s=0.006, seed=23
+        )
+        assert result.total_ops > 0
+        injector.quiesce()
+        report = verify_index(cluster, index)
+        assert report.ok, report.violations
+        detector = RaceDetector().feed_all(collector.events)
+        assert detector.ok, "\n".join(r.describe() for r in detector.races)
+        # Batching actually happened: some doorbells flushed several WQEs.
+        ports = [qp.local_port for qp in cluster.compute_servers[0]._qps.values()]
+        assert any(p.wqes_posted > p.doorbells for p in ports)
+
+
+# --------------------------------------------------------------------------- #
+# RPC dedup cache sizing (configurable _RPC_CACHE_LIMIT)                       #
+# --------------------------------------------------------------------------- #
+
+class TestRpcDedupCacheLimit:
+    def test_cache_bounded_by_retry_config(self):
+        cluster = Cluster(
+            ClusterConfig(
+                num_memory_servers=2,
+                seed=41,
+                retry=RetryConfig(rpc_dedup_cache_entries=16),
+            )
+        )
+        compute = cluster.new_compute_server()
+        cluster.attach_faults(FaultPlan(seed=1))
+        qp = compute.qp(0)
+        for seq in range(50):
+            qp.rpc_finish(seq, None, 0)
+        # Bounded at the configured size, evicting oldest-first.
+        assert len(qp._rpc_cache) == 16
+        assert set(qp._rpc_cache) == set(range(34, 50))
+
+    def test_module_default_without_injector(self):
+        from repro.rdma import qp as qp_module
+
+        cluster = Cluster(ClusterConfig(num_memory_servers=2, seed=41))
+        qp = cluster.new_compute_server().qp(0)
+        for seq in range(qp_module._RPC_CACHE_LIMIT + 40):
+            qp.rpc_finish(seq, None, 0)
+        assert len(qp._rpc_cache) == qp_module._RPC_CACHE_LIMIT
+
+
+# --------------------------------------------------------------------------- #
+# batched vs unbatched: identical results                                       #
+# --------------------------------------------------------------------------- #
+
+def test_index_results_identical_batched_vs_unbatched():
+    dataset = generate_dataset(1_200, gap=8)
+
+    def run(batched: bool):
+        cluster = Cluster(ClusterConfig(num_memory_servers=4, seed=11))
+        index = FineGrainedIndex.build(
+            cluster, "idx", dataset.pairs(), batch_verbs=batched
+        )
+        session = index.session(cluster.new_compute_server())
+        out = []
+        for i in (0, 37, 555, 1_199):
+            out.append(cluster.execute(session.lookup(dataset.key_at(i))))
+        low, high = dataset.key_at(100), dataset.key_at(400)
+        out.append(cluster.execute(session.range_scan(low, high)))
+        cluster.execute(session.insert(dataset.key_at(50) + 1, 777))
+        out.append(cluster.execute(session.lookup(dataset.key_at(50) + 1)))
+        return out
+
+    assert run(batched=True) == run(batched=False)
