@@ -50,6 +50,7 @@ from repro.index import (
     verify_index,
 )
 from repro.nam import Cluster, ComputeServer, MemoryServer
+from repro.obs import Observability, ObservabilityConfig
 from repro.rdma.faults import ComputeCrash, FaultInjector, FaultPlan, ServerCrash
 from repro.rdma.tracing import VerbTracer
 from repro.reporting import ascii_chart, results_to_csv, write_csv
@@ -86,6 +87,8 @@ __all__ = [
     "Cluster",
     "ComputeServer",
     "MemoryServer",
+    "Observability",
+    "ObservabilityConfig",
     "VerbTracer",
     "ascii_chart",
     "results_to_csv",

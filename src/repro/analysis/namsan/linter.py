@@ -10,6 +10,8 @@ Scoping mirrors the architecture, not a config file:
   accessor layer itself (``index/accessors.py``), which exists to be the
   one place that touches buffers.
 * **N04/N05** apply to all of ``repro``.
+* **N06** (sim-time-only observability) applies to ``repro/obs`` — the
+  one package N01 does not cover whose timestamps flow into results.
 
 A finding on a line carrying ``# namsan: allow[N03]`` (comma-separated
 ids, or ``allow[*]``) is suppressed — grep-able, per-line, per-rule.
@@ -29,10 +31,11 @@ from repro.errors import AnalysisError
 
 __all__ = ["Violation", "lint_source", "lint_file", "lint_paths", "RULE_IDS"]
 
-RULE_IDS = ("N01", "N02", "N03", "N04", "N05")
+RULE_IDS = ("N01", "N02", "N03", "N04", "N05", "N06")
 
 _N01_PACKAGES = ("sim", "nam", "rdma", "index", "btree")
 _N03_PACKAGES = ("index", "btree")
+_N06_PACKAGES = ("obs",)
 
 _ALLOW_RE = re.compile(r"#\s*namsan:\s*allow\[([^\]]*)\]")
 
@@ -78,6 +81,8 @@ def _rules_for(path: str, rules: Optional[Sequence[str]]) -> List[str]:
         if rule == "N03" and (
             package not in _N03_PACKAGES or filename == "accessors.py"
         ):
+            continue
+        if rule == "N06" and package not in _N06_PACKAGES:
             continue
         selected.append(rule)
     return selected

@@ -1,4 +1,4 @@
-"""namsan lint rules N01 and N03-N05 (N02 lives in ``lockcheck``).
+"""namsan lint rules N01 and N03-N06 (N02 lives in ``lockcheck``).
 
 Each rule is a function ``(tree, lines) -> [(line, col, message)]`` over a
 parsed module; the driver in :mod:`repro.analysis.namsan.linter` decides
@@ -18,6 +18,7 @@ __all__ = [
     "rule_n03_region_access",
     "rule_n04_error_taxonomy",
     "rule_n05_broad_except",
+    "rule_n06_obs_sim_time",
 ]
 
 Finding = Tuple[int, int, str]
@@ -71,27 +72,13 @@ class _ImportMap(ast.NodeVisitor):
                 self.member_from[alias.asname or alias.name] = (root, alias.name)
 
 
-def rule_n01_determinism(tree: ast.Module, lines: List[str]) -> List[Finding]:
-    """All time must come from the sim clock, all randomness from a seeded
-    RNG. Flags calls into stdlib ``time`` wall clocks, *any* use of the
-    stdlib ``random`` module (its global generator is process-seeded), and
-    ``datetime`` "what time is it" constructors. ``numpy``'s
-    ``default_rng(seed)`` instances are untouched — they are the sanctioned
-    randomness source."""
+def _clock_and_random_calls(tree: ast.Module):
+    """Yield ``(node, kind, what)`` for every stdlib wall-clock read
+    (``kind == "wallclock"``) and stdlib ``random`` call
+    (``kind == "random"``) in *tree*. Shared by N01 and N06, which scope
+    and phrase the findings differently."""
     imports = _ImportMap()
     imports.visit(tree)
-    findings: List[Finding] = []
-
-    def flag(node: ast.AST, what: str) -> None:
-        findings.append(
-            (
-                node.lineno,
-                node.col_offset,
-                f"{what} breaks reproducibility: use the sim clock "
-                "(env.now) or a seeded numpy Generator",
-            )
-        )
-
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
@@ -102,9 +89,9 @@ def rule_n01_determinism(tree: ast.Module, lines: List[str]) -> List[Finding]:
                 continue
             module, member = origin
             if module == "random":
-                flag(node, f"random.{member}()")
+                yield node, "random", f"random.{member}()"
             elif module == "time" and member in _TIME_WALLCLOCK:
-                flag(node, f"time.{member}()")
+                yield node, "wallclock", f"time.{member}()"
             elif module == "datetime":
                 # from datetime import datetime; datetime(...) is a plain
                 # constructor with explicit fields — deterministic, fine.
@@ -114,16 +101,16 @@ def rule_n01_determinism(tree: ast.Module, lines: List[str]) -> List[Finding]:
             if isinstance(base, ast.Name):
                 module = imports.module_alias.get(base.id)
                 if module == "random":
-                    flag(node, f"random.{func.attr}()")
+                    yield node, "random", f"random.{func.attr}()"
                 elif module == "time" and func.attr in _TIME_WALLCLOCK:
-                    flag(node, f"time.{func.attr}()")
+                    yield node, "wallclock", f"time.{func.attr}()"
                 elif module == "datetime" and func.attr in _DATETIME_NOW:
-                    flag(node, f"datetime.{func.attr}()")
+                    yield node, "wallclock", f"datetime.{func.attr}()"
                 elif (
                     imports.member_from.get(base.id) == ("datetime", "datetime")
                     and func.attr in _DATETIME_NOW
                 ):
-                    flag(node, f"datetime.{func.attr}()")
+                    yield node, "wallclock", f"datetime.{func.attr}()"
             elif (
                 isinstance(base, ast.Attribute)
                 and isinstance(base.value, ast.Name)
@@ -131,8 +118,25 @@ def rule_n01_determinism(tree: ast.Module, lines: List[str]) -> List[Finding]:
                 and func.attr in _DATETIME_NOW
             ):
                 # datetime.datetime.now() / datetime.date.today()
-                flag(node, f"datetime.{base.attr}.{func.attr}()")
-    return findings
+                yield node, "wallclock", f"datetime.{base.attr}.{func.attr}()"
+
+
+def rule_n01_determinism(tree: ast.Module, lines: List[str]) -> List[Finding]:
+    """All time must come from the sim clock, all randomness from a seeded
+    RNG. Flags calls into stdlib ``time`` wall clocks, *any* use of the
+    stdlib ``random`` module (its global generator is process-seeded), and
+    ``datetime`` "what time is it" constructors. ``numpy``'s
+    ``default_rng(seed)`` instances are untouched — they are the sanctioned
+    randomness source."""
+    return [
+        (
+            node.lineno,
+            node.col_offset,
+            f"{what} breaks reproducibility: use the sim clock "
+            "(env.now) or a seeded numpy Generator",
+        )
+        for node, _kind, what in _clock_and_random_calls(tree)
+    ]
 
 
 # --------------------------------------------------------------------------- #
@@ -306,10 +310,38 @@ def rule_n05_broad_except(tree: ast.Module, lines: List[str]) -> List[Finding]:
     return findings
 
 
+# --------------------------------------------------------------------------- #
+# N06 — observability stamps with simulator time only                          #
+# --------------------------------------------------------------------------- #
+
+def rule_n06_obs_sim_time(tree: ast.Module, lines: List[str]) -> List[Finding]:
+    """Metric and span emission must be stamped with simulator time.
+
+    The observability layer promises that an enabled run's simulated
+    results are identical to a disabled run's, and that every timestamp
+    in a snapshot (metric ``updated_at``, span start/finish, histogram
+    samples) is a *virtual* time comparable across hosts and replays. A
+    single ``time.time()``/``perf_counter()`` in ``repro.obs`` breaks
+    both promises silently; this rule flags every stdlib wall-clock read
+    there (the scan is N01's, the scope and the contract are obs-specific).
+    """
+    return [
+        (
+            node.lineno,
+            node.col_offset,
+            f"{what} in observability code: metrics and spans must be "
+            "stamped with simulator time (sim.now), never wall-clock",
+        )
+        for node, kind, what in _clock_and_random_calls(tree)
+        if kind == "wallclock"
+    ]
+
+
 #: rule id -> (checker, one-line description)
 RULES = {
     "N01": (rule_n01_determinism, "no wall-clock time or unseeded randomness"),
     "N03": (rule_n03_region_access, "region buffers only via accessors"),
     "N04": (rule_n04_error_taxonomy, "raises stay inside repro.errors"),
     "N05": (rule_n05_broad_except, "no broad except swallowing faults"),
+    "N06": (rule_n06_obs_sim_time, "obs code stamps with sim time only"),
 }

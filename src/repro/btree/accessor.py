@@ -49,6 +49,13 @@ class NodeAccessor(abc.ABC):
 
     page_size: int
 
+    #: Optional :class:`repro.obs.hub.Observability` hub. Concrete
+    #: accessors wire it from their server/fabric at construction; the
+    #: algorithm layer and GC read it to emit traversal spans and lock
+    #: metrics. None (the class default) keeps every emission point a
+    #: single attribute test.
+    obs = None
+
     @abc.abstractmethod
     def read_node(self, raw_ptr: int) -> Generator[Any, Any, Node]:
         """Fetch and decode the page at *raw_ptr* (may be locked)."""

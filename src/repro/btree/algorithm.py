@@ -106,23 +106,45 @@ class BLinkTree:
     ) -> Generator[Any, Any, Tuple[int, Node]]:
         """Walk down from *node* to the node at *level* covering *key*,
         moving right through siblings whenever the key escapes a node's
-        range (concurrent splits)."""
+        range (concurrent splits).
+
+        Each page fetch of the walk becomes a child span of the active
+        operation (kind ``descend``/``move_right``, named for the level the
+        step *starts* from) so sampled traces show where traversal round
+        trips went. With observability off, ``obs`` is None and every
+        guard collapses to one attribute test."""
+        obs = self.acc.obs
         while node.level > level:
             if not node.covers(key) and not is_null(node.right):
                 raw_ptr = node.right
+                step_kind = "move_right"
             else:
                 raw_ptr = node.find_child(key)
+                step_kind = "descend"
+            if obs is not None:
+                obs.enter_step(step_kind, f"level_{node.level}")
             node = yield from self._read_unlocked(raw_ptr)
+            if obs is not None:
+                obs.exit_step()
         while not node.covers(key) and not is_null(node.right):
             raw_ptr = node.right
+            if obs is not None:
+                obs.enter_step("move_right", f"level_{node.level}")
             node = yield from self._read_unlocked(raw_ptr)
+            if obs is not None:
+                obs.exit_step()
         return raw_ptr, node
 
     def _descend_to_level(
         self, key: int, level: int
     ) -> Generator[Any, Any, Tuple[int, Node]]:
+        obs = self.acc.obs
         raw_ptr = yield from self.root.get()
+        if obs is not None:
+            obs.enter_step("descend", "root")
         node = yield from self._read_unlocked(raw_ptr)
+        if obs is not None:
+            obs.exit_step()
         return (yield from self._descend_from(raw_ptr, node, key, level))
 
     # ------------------------------------------------------------------ #
@@ -137,10 +159,15 @@ class BLinkTree:
         The hybrid design starts leaf operations from a pointer returned by
         a traversal RPC; the leaf may have split since, so the move-right
         step is mandatory (Section 5.2)."""
+        obs = self.acc.obs
         node = yield from self._read_unlocked(raw_ptr)
         while not node.covers(key) and not is_null(node.right):
             raw_ptr = node.right
+            if obs is not None:
+                obs.enter_step("move_right", f"level_{node.level}")
             node = yield from self._read_unlocked(raw_ptr)
+            if obs is not None:
+                obs.exit_step()
         return raw_ptr, node
 
     def lookup(self, key: int) -> Generator[Any, Any, List[int]]:

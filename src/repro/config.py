@@ -15,8 +15,16 @@ import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError, ConfigurationWarning
+from repro.obs.config import ObservabilityConfig
 
-__all__ = ["NetworkConfig", "CpuConfig", "TreeConfig", "RetryConfig", "ClusterConfig"]
+__all__ = [
+    "NetworkConfig",
+    "CpuConfig",
+    "TreeConfig",
+    "RetryConfig",
+    "ObservabilityConfig",
+    "ClusterConfig",
+]
 
 
 @dataclass(frozen=True)
@@ -258,6 +266,11 @@ class ClusterConfig:
     cpu: CpuConfig = field(default_factory=CpuConfig)
     tree: TreeConfig = field(default_factory=TreeConfig)
     retry: RetryConfig = field(default_factory=RetryConfig)
+    #: Fabric-wide observability (metrics registry + span sampling). Off by
+    #: default: no hub is created and every instrumentation point is a
+    #: single ``is None`` test, keeping runs byte-identical to builds
+    #: without the subsystem. See docs/observability.md.
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
 
     def __post_init__(self) -> None:
         if self.num_memory_servers < 1:

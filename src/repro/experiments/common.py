@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.config import ClusterConfig
+from repro.config import ClusterConfig, ObservabilityConfig
 from repro.errors import ConfigurationError
 from repro.index import (
     CoarseGrainedIndex,
@@ -42,14 +42,21 @@ def build_cluster(
     scale: ExperimentScale,
     num_memory_servers: Optional[int] = None,
     colocated: bool = False,
+    observability: Optional[ObservabilityConfig] = None,
 ) -> Cluster:
-    """A fresh cluster shaped by *scale*."""
+    """A fresh cluster shaped by *scale*.
+
+    Pass an :class:`ObservabilityConfig` to run the cell with the metrics
+    registry and span sampling attached; the default (None) builds the
+    cluster with observability off, exactly as before.
+    """
     servers = num_memory_servers or scale.num_memory_servers
     config = ClusterConfig(
         num_memory_servers=servers,
         memory_servers_per_machine=min(scale.memory_servers_per_machine, servers),
         colocated=colocated,
         seed=scale.seed,
+        observability=observability or ObservabilityConfig(),
     )
     return Cluster(config)
 
@@ -103,10 +110,15 @@ def run_cell(
     colocated: bool = False,
     partitioning: str = "range",
     num_keys: Optional[int] = None,
+    observability: Optional[ObservabilityConfig] = None,
 ) -> RunResult:
-    """Measure one cell on a fresh cluster."""
+    """Measure one cell on a fresh cluster.
+
+    With *observability* set, the returned result additionally carries
+    the full metrics/span snapshot in :attr:`RunResult.observability`.
+    """
     dataset = generate_dataset(num_keys or scale.num_keys, scale.gap)
-    cluster = build_cluster(scale, num_memory_servers, colocated)
+    cluster = build_cluster(scale, num_memory_servers, colocated, observability)
     index = build_index(cluster, design, dataset, skewed, partitioning)
     runner = WorkloadRunner(cluster, dataset)
     return runner.run(

@@ -81,6 +81,7 @@ class LocalAccessor(NodeAccessor):
         self.region = region if region is not None else server.region
         self.logical_id = logical_id if logical_id is not None else server.server_id
         self.allocator = allocator if allocator is not None else server.allocator
+        self.obs = server.obs
         self.page_size = server.config.tree.page_size
         self._node_cost = server.config.cpu.per_node_cost_s
         self._atomic_cost = server.config.cpu.per_node_cost_s / 4
@@ -139,6 +140,12 @@ class LocalAccessor(NodeAccessor):
             offset, version, version | 1
         )
         self._emit("atomic", "LOCAL_CAS", offset, 8, epoch=old)
+        obs = self.obs
+        if obs is not None:
+            if swapped:
+                obs.lock_acquired()
+            else:
+                obs.lock_contended()
         return swapped
 
     def unlock_write(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
@@ -163,6 +170,8 @@ class LocalAccessor(NodeAccessor):
 
     def spin_pause(self) -> Generator[Any, Any, None]:
         # The worker burns its core while spinning — deliberately.
+        if self.obs is not None:
+            self.obs.lock_spin_round()
         yield self.server.cpu(self._spin_slice)
 
     def now(self) -> float:
@@ -181,6 +190,7 @@ class RemoteAccessor(NodeAccessor):
     ) -> None:
         self.compute_server = compute_server
         self.config = config
+        self.obs = compute_server.fabric.obs
         self.page_size = config.tree.page_size
         self._search_cost = config.cpu.client_per_node_cost_s
         self._spin_slice = config.cpu.spin_wait_slice_s
@@ -305,6 +315,12 @@ class RemoteAccessor(NodeAccessor):
             )
 
         swapped, _old = yield from self._failover(pointer.server_id, op)
+        obs = self.obs
+        if obs is not None:
+            if swapped:
+                obs.lock_acquired()
+            else:
+                obs.lock_contended()
         return swapped
 
     def unlock_write(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
@@ -370,6 +386,8 @@ class RemoteAccessor(NodeAccessor):
 
     def spin_pause(self) -> Generator[Any, Any, None]:
         # Remote spinlock: back off, then the caller re-READs the node.
+        if self.obs is not None:
+            self.obs.lock_spin_round()
         yield self.compute_server.sim.timeout(self._spin_slice)
 
     # -- lock-lease recovery ----------------------------------------------------
@@ -408,6 +426,8 @@ class RemoteAccessor(NodeAccessor):
             injector = self.compute_server.fabric.injector
             if injector is not None:
                 injector.record_steal()
+            if self.obs is not None:
+                self.obs.lock_stolen()
         return swapped
 
 

@@ -83,13 +83,18 @@ class CachingRemoteAccessor(RemoteAccessor):
     # -- accessor overrides ----------------------------------------------------
 
     def read_node(self, raw_ptr: int) -> Generator[Any, Any, Node]:
+        obs = self.obs
         cached = self._cache_get(raw_ptr)
         if cached is not None:
             self.hits += 1
+            if obs is not None:
+                obs.cache_hit()
             # Only the local search cost; no network round trip.
             yield self.compute_server.sim.timeout(self._search_cost)
             return Node.from_bytes(cached)
         self.misses += 1
+        if obs is not None:
+            obs.cache_miss()
         node = yield from super().read_node(raw_ptr)
         if (
             node.is_inner

@@ -86,6 +86,9 @@ class EpochGarbageCollector:
             yield from self._rebuild_heads(chain)
         self.sweeps += 1
         self.entries_removed += removed
+        obs = self.tree.acc.obs
+        if obs is not None:
+            obs.gc_sweep(leaves_seen, removed)
         return {"leaves": leaves_seen, "removed": removed}
 
     def _compact(self, raw_ptr: int) -> Generator[Any, Any, int]:

@@ -89,6 +89,19 @@ class Cluster:
         self.compute_servers: List[ComputeServer] = []
         #: Set by :meth:`attach_faults`; None means a perfectly reliable fabric.
         self.fault_injector = None
+        #: :class:`repro.obs.hub.Observability` hub, or None (the default).
+        #: With observability disabled no hub exists anywhere in the
+        #: cluster and every emission point degenerates to an ``is None``
+        #: test — runs are byte-identical to builds without the subsystem.
+        self.obs = None
+        if self.config.observability.enabled:
+            from repro.obs.hub import Observability
+
+            self.obs = Observability(self.sim, self.config.observability)
+            self.obs.attach_cluster(self)
+            self.fabric.obs = self.obs
+            for server in self.memory_servers:
+                server.obs = self.obs
         #: Primary/backup replication (None when ``replication_factor == 1``,
         #: leaving every hot path bit-identical to the unreplicated build).
         self.replication = None

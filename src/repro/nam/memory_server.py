@@ -68,6 +68,11 @@ class MemoryServer:
         #: Optional :class:`repro.analysis.namsan.events.TraceCollector`;
         #: local accessors emit their page/word effects through it.
         self.sanitizer = None
+        #: Optional :class:`repro.obs.hub.Observability` hub (set by the
+        #: cluster when observability is enabled). Worker loops and local
+        #: accessors emit RPC/lock metrics through it; while None each
+        #: emission point is a single attribute test.
+        self.obs = None
         #: Index-design state keyed by (design, index name) — e.g. the
         #: server-local B-link trees the RPC handlers operate on.
         self.app: Dict[Any, Any] = {}
@@ -177,6 +182,14 @@ class MemoryServer:
             envelope.complete(response, wire_bytes)
             self.rpcs_handled += 1
             self._busy_time += self.sim.now - started
+            obs = self.obs
+            if obs is not None:
+                # Depth is the backlog left in the SRQ as this worker frees
+                # up — the queueing signal Figure 12's degradation is made
+                # of; service time spans handler + spins + mirror legs.
+                obs.rpc_served(
+                    self.server_id, len(self.srq), self.sim.now - started
+                )
 
     # -- utilization reporting ---------------------------------------------------
 

@@ -1,0 +1,54 @@
+"""namscope: always-on observability for the NAM fabric.
+
+The subsystem has four parts, all gated by
+:class:`~repro.obs.config.ObservabilityConfig` (disabled by default —
+hot paths then pay one ``is None`` test per event and runs are
+byte-identical to an uninstrumented build):
+
+* :mod:`repro.obs.metrics` — counters, gauges, and log-bucketed
+  histograms in a :class:`MetricsRegistry` stamped with simulated time;
+* :mod:`repro.obs.spans` — :class:`OpSpan` trees recording the anatomy
+  of individual operations (operation → traversal steps → verbs),
+  correlated to :class:`~repro.rdma.tracing.TraceRecord` via ``op_id``;
+* :mod:`repro.obs.hub` — :class:`Observability`, the cluster-wide hub
+  that owns the registry, samples span trees (every Nth op), captures
+  slow ops past a latency threshold, and pulls NIC/injector/replication
+  counters at snapshot time;
+* :mod:`repro.obs.export` — Prometheus text, JSON, and Chrome
+  trace-event exporters with validators, also exposed as a CLI::
+
+      PYTHONPATH=src python -m repro.obs run --out-dir out/
+      PYTHONPATH=src python -m repro.obs validate out/
+
+See docs/observability.md for the full model and overhead guidance.
+"""
+
+from repro.obs.config import ObservabilityConfig
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    to_json,
+    validate_chrome_trace,
+    validate_json_snapshot,
+    validate_prometheus_text,
+)
+from repro.obs.hub import Observability
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import OpSpan, VerbEvent
+
+__all__ = [
+    "ObservabilityConfig",
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "OpSpan",
+    "VerbEvent",
+    "prometheus_text",
+    "to_json",
+    "chrome_trace",
+    "validate_prometheus_text",
+    "validate_json_snapshot",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,144 @@
+"""Command-line profiling harness: ``python -m repro.obs``.
+
+Two subcommands::
+
+    python -m repro.obs run --out-dir out/       # profile one smoke cell
+    python -m repro.obs validate out/            # re-parse the artifacts
+
+``run`` executes one Figure 7/8-class workload cell on a fresh cluster
+with observability enabled and writes three artifacts into ``--out-dir``:
+
+* ``metrics.prom`` — Prometheus text exposition of every instrument;
+* ``snapshot.json`` — the full JSON snapshot (metrics + span trees);
+* ``trace.json`` — Chrome trace-event JSON of the retained span trees
+  (load it in ``chrome://tracing`` or Perfetto).
+
+``validate`` round-trips all three files through the strict parsers in
+:mod:`repro.obs.export` and exits non-zero if any fails — CI's obs-smoke
+job is exactly ``run`` followed by ``validate``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.obs.config import ObservabilityConfig
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    to_json,
+    validate_chrome_trace,
+    validate_json_snapshot,
+    validate_prometheus_text,
+)
+
+PROM_FILE = "metrics.prom"
+SNAPSHOT_FILE = "snapshot.json"
+TRACE_FILE = "trace.json"
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.common import run_cell
+    from repro.experiments.scale import SMALL
+    from repro.workloads import WorkloadSpec
+
+    spec = WorkloadSpec(
+        name="A-smoke",
+        point_fraction=args.point_fraction,
+        range_fraction=0.0,
+        insert_fraction=1.0 - args.point_fraction,
+        selectivity=0.0,
+    )
+    obs_config = ObservabilityConfig(
+        enabled=True,
+        sample_every=args.sample_every,
+        slow_op_threshold_s=args.slow_op_threshold_s,
+    )
+    result = run_cell(
+        design=args.design,
+        spec=spec,
+        num_clients=args.clients,
+        scale=SMALL,
+        observability=obs_config,
+    )
+    snapshot = result.observability
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / PROM_FILE).write_text(prometheus_text(snapshot))
+    (out_dir / SNAPSHOT_FILE).write_text(to_json(snapshot, indent=2))
+    (out_dir / TRACE_FILE).write_text(
+        json.dumps(chrome_trace(snapshot), sort_keys=True)
+    )
+    print(
+        f"{result.design}/{result.workload}: {result.total_ops} ops in "
+        f"{result.window_s:g}s of simulated time "
+        f"({result.throughput:,.0f} ops/s), {result.errored_ops} errored, "
+        f"{result.retries} retries"
+    )
+    print(
+        f"spans: {len(snapshot['sampled_spans'])} sampled, "
+        f"{len(snapshot['slow_spans'])} slow "
+        f"(of {snapshot['ops_observed']} operations)"
+    )
+    print(f"wrote {PROM_FILE}, {SNAPSHOT_FILE}, {TRACE_FILE} to {out_dir}/")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out_dir)
+    failures = 0
+    try:
+        samples = validate_prometheus_text((out_dir / PROM_FILE).read_text())
+        print(f"{PROM_FILE}: OK ({samples} samples)")
+    except (OSError, ReproError) as exc:
+        print(f"{PROM_FILE}: FAIL ({exc})")
+        failures += 1
+    try:
+        snapshot = validate_json_snapshot((out_dir / SNAPSHOT_FILE).read_text())
+        print(
+            f"{SNAPSHOT_FILE}: OK ({len(snapshot['metrics'])} metrics, "
+            f"{len(snapshot['sampled_spans'])} sampled spans)"
+        )
+    except (OSError, ReproError) as exc:
+        print(f"{SNAPSHOT_FILE}: FAIL ({exc})")
+        failures += 1
+    try:
+        events = validate_chrome_trace((out_dir / TRACE_FILE).read_text())
+        print(f"{TRACE_FILE}: OK ({events} events)")
+    except (OSError, ReproError) as exc:
+        print(f"{TRACE_FILE}: FAIL ({exc})")
+        failures += 1
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="profile one smoke workload cell")
+    run_p.add_argument("--out-dir", default="obs-out", help="artifact directory")
+    run_p.add_argument(
+        "--design",
+        default="fine-grained",
+        choices=("coarse-grained", "fine-grained", "hybrid"),
+    )
+    run_p.add_argument("--clients", type=int, default=20)
+    run_p.add_argument("--point-fraction", type=float, default=0.9)
+    run_p.add_argument("--sample-every", type=int, default=16)
+    run_p.add_argument("--slow-op-threshold-s", type=float, default=1e-3)
+    run_p.set_defaults(func=_cmd_run)
+
+    val_p = sub.add_parser("validate", help="re-parse a run's artifacts")
+    val_p.add_argument("out_dir", help="directory written by `run`")
+    val_p.set_defaults(func=_cmd_validate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Observability configuration.
+
+:class:`ObservabilityConfig` gates the entire ``repro.obs`` subsystem.
+With ``enabled=False`` (the default) no hub is created, every
+instrumentation point in the hot paths degenerates to a single
+``is None`` attribute test, and a run is byte-identical to an
+uninstrumented build — the same contract the detached
+:class:`~repro.rdma.tracing.VerbTracer` honors.
+
+With ``enabled=True`` the cluster carries an
+:class:`~repro.obs.hub.Observability` hub: an always-on metrics registry,
+sampled per-operation span trees, and a slow-op capture hook. Metric and
+span bookkeeping never schedules simulation events, so even an enabled
+run produces *identical simulated results* — observation changes wall
+time, never virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ObservabilityConfig"]
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Knobs for the fabric-wide observability layer.
+
+    ``sample_every`` keeps one full span tree per N operations, counted
+    over a cluster-global operation sequence (the first operation is
+    always eligible, so short runs still yield at least one sample).
+    ``slow_op_threshold_s`` additionally
+    captures the complete span tree of any operation whose end-to-end
+    latency exceeds the threshold, regardless of sampling — the
+    tail-latency forensics hook. Both retention lists are bounded.
+    """
+
+    enabled: bool = False
+    #: Keep the span tree of every Nth operation, cluster-wide (1 = all).
+    sample_every: int = 64
+    #: Auto-capture the span tree of any op slower than this; None disables.
+    slow_op_threshold_s: Optional[float] = 1e-3
+    #: Retention bounds for the two span lists (oldest evicted first).
+    max_sampled_spans: int = 256
+    max_slow_spans: int = 64
+    #: Histogram shape: per-metric log buckets spanning
+    #: [bucket_floor, bucket_floor * bucket_base**bucket_count).
+    bucket_floor: float = 1e-7
+    bucket_base: float = 2.0
+    bucket_count: int = 40
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 1:
+            raise ConfigurationError("sample_every must be >= 1")
+        if self.max_sampled_spans < 1 or self.max_slow_spans < 1:
+            raise ConfigurationError("span retention bounds must be >= 1")
+        if self.slow_op_threshold_s is not None and self.slow_op_threshold_s <= 0:
+            raise ConfigurationError("slow_op_threshold_s must be > 0 or None")
+        if self.bucket_floor <= 0:
+            raise ConfigurationError("bucket_floor must be > 0")
+        if self.bucket_base <= 1.0:
+            raise ConfigurationError("bucket_base must be > 1")
+        if not 1 <= self.bucket_count <= 128:
+            raise ConfigurationError("bucket_count must be in [1, 128]")

@@ -1,0 +1,331 @@
+"""The observability hub: one object wired through the whole fabric.
+
+An :class:`Observability` instance is created by the cluster when
+``ClusterConfig.observability.enabled`` is set, attached to the fabric as
+``fabric.obs`` and to every memory server as ``server.obs``. Hot paths
+reach it through one attribute that is ``None`` on a disabled cluster —
+the same no-op fast-path contract the verb tracer, fault injector and
+race sanitizer follow.
+
+Event attribution (how a verb finds its operation): the simulation kernel
+tracks the currently executing :class:`~repro.sim.core.Process` in
+``Simulator._active``, and every process carries a ``span`` pointer — the
+deepest open :class:`~repro.obs.spans.OpSpan` of the operation it is
+running (inherited at spawn, so prefetch fan-out sub-processes report
+into their operation's span). Queue pairs only ever ask the hub "what is
+the active span"; no identifiers are threaded through the verb APIs.
+
+Metrics are a hybrid of push and pull: latency-shaped quantities
+(per-verb latency, RPC service time, batch sizes) are pushed at the
+event, while cumulative counters that the simulation already maintains
+(NIC doorbells/WQEs/bytes, per-server verb stats, fault-injector and
+replication tallies) are *pulled* into the registry only at snapshot
+time — zero hot-path cost even when enabled. The hub never schedules
+simulation events and never reads wall-clock time (namsan rule N06), so
+an enabled run's simulated results are identical to a disabled run's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.config import ObservabilityConfig
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.spans import OpSpan, VerbEvent
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """Metrics registry + span lifecycle + pull collectors for one cluster."""
+
+    def __init__(self, sim: Any, config: Optional[ObservabilityConfig] = None) -> None:
+        self.sim = sim
+        self.config = config if config is not None else ObservabilityConfig(enabled=True)
+        self.registry = MetricsRegistry(lambda: sim.now, self.config)
+        #: Span trees kept by sampling (every Nth operation, op 1 included).
+        self.sampled_spans: deque = deque(maxlen=self.config.max_sampled_spans)
+        #: Span trees kept because the op exceeded ``slow_op_threshold_s``.
+        self.slow_spans: deque = deque(maxlen=self.config.max_slow_spans)
+        self._op_seq = 0
+        self._collectors: List[Callable[[MetricsRegistry], None]] = []
+        # Pre-resolved instrument handles so hot-path emission is a dict
+        # lookup plus attribute bumps, never label sorting.
+        reg = self.registry
+        self._verb_handles: Dict[Tuple[str, int], Tuple[Counter, Counter, Histogram]] = {}
+        self._retry_handles: Dict[Tuple[str, int], Tuple[Counter, Counter]] = {}
+        self._rpc_handles: Dict[int, Tuple[Counter, Histogram, Histogram]] = {}
+        self._op_handles: Dict[str, Tuple[Counter, Histogram]] = {}
+        self._batch_wqes = reg.histogram("nam_batch_wqes")
+        self._lock_acquired = reg.counter("nam_lock_acquisitions_total")
+        self._lock_contended = reg.counter("nam_lock_contended_total")
+        self._lock_spins = reg.counter("nam_lock_spin_rounds_total")
+        self._lock_steals = reg.counter("nam_lock_steals_total")
+        self._cache_hits = reg.counter("nam_cache_hits_total")
+        self._cache_misses = reg.counter("nam_cache_misses_total")
+        self._gc_sweeps = reg.counter("nam_gc_sweeps_total")
+        self._gc_leaves = reg.counter("nam_gc_leaves_scanned_total")
+        self._gc_removed = reg.counter("nam_gc_entries_removed_total")
+
+    # -- correlation ---------------------------------------------------------
+
+    def active_span(self) -> Optional[OpSpan]:
+        """The deepest open span of the currently executing process."""
+        process = self.sim._active
+        return process.span if process is not None else None
+
+    def current_op_id(self) -> Optional[int]:
+        """Op id stamped onto trace records while an operation is active."""
+        span = self.active_span()
+        return span.op_id if span is not None else None
+
+    # -- operation lifecycle (called by the workload runner) -------------------
+
+    def begin_op(self, op_type: str, client_id: Optional[int] = None) -> OpSpan:
+        """Open a root span for one index operation and make it the active
+        span of the calling process."""
+        self._op_seq += 1
+        span = OpSpan(self._op_seq, "op", op_type, self.sim.now, client_id=client_id)
+        process = self.sim._active
+        if process is not None:
+            process.span = span
+        return span
+
+    def end_op(self, span: OpSpan, op_type: Optional[str] = None) -> None:
+        """Close an operation's span tree, record its metrics, and decide
+        whether the tree is retained (sampling or the slow-op hook).
+
+        ``op_type`` is the operation's final classification — the runner
+        only knows it after the fact (an op that exhausts its retry budget
+        comes back as an error type); it overwrites the placeholder name
+        given to :meth:`begin_op`.
+        """
+        now = self.sim.now
+        if op_type is not None:
+            span.name = op_type
+        span.finish(now)
+        process = self.sim._active
+        if process is not None:
+            process.span = None
+        handles = self._op_handles.get(span.name)
+        if handles is None:
+            handles = (
+                self.registry.counter("nam_ops_total", type=span.name),
+                self.registry.histogram("nam_op_latency_seconds", type=span.name),
+            )
+            self._op_handles[span.name] = handles
+        duration = now - span.started_at
+        handles[0].inc()
+        handles[1].observe(duration)
+        if (span.op_id - 1) % self.config.sample_every == 0:
+            self.sampled_spans.append(span)
+        threshold = self.config.slow_op_threshold_s
+        if threshold is not None and duration > threshold:
+            self.slow_spans.append(span)
+
+    # -- traversal structure (called by the tree algorithm) --------------------
+
+    def enter_step(self, kind: str, name: str) -> None:
+        """Open a child span under the active one (level descent, move-right,
+        lock wait). No-op outside an operation."""
+        process = self.sim._active
+        if process is None or process.span is None:
+            return
+        process.span = process.span.child(kind, name, self.sim.now)
+
+    def exit_step(self) -> None:
+        """Close the innermost step span opened by :meth:`enter_step`."""
+        process = self.sim._active
+        span = process.span if process is not None else None
+        if span is None or span.parent is None:
+            return
+        span.finish(self.sim.now)
+        process.span = span.parent
+
+    # -- hot-path events (push) -------------------------------------------------
+
+    def verb_completed(
+        self,
+        verb: Any,
+        server_id: int,
+        payload_bytes: int,
+        started_at: float,
+        finished_at: float,
+        local: bool = False,
+        batch_id: Optional[int] = None,
+    ) -> None:
+        """One RDMA verb finished: bump per-verb/per-server counters and
+        the latency histogram, and attribute the verb to the active span."""
+        name = getattr(verb, "value", verb)
+        key = (name, server_id)
+        handles = self._verb_handles.get(key)
+        if handles is None:
+            handles = (
+                self.registry.counter("nam_verbs_total", verb=name, server=server_id),
+                self.registry.counter(
+                    "nam_verb_payload_bytes_total", verb=name, server=server_id
+                ),
+                self.registry.histogram(
+                    "nam_verb_latency_seconds", verb=name, server=server_id
+                ),
+            )
+            self._verb_handles[key] = handles
+        handles[0].inc()
+        handles[1].inc(payload_bytes)
+        handles[2].observe(finished_at - started_at)
+        process = self.sim._active
+        if process is not None and process.span is not None:
+            process.span.verbs.append(
+                VerbEvent(
+                    name, server_id, payload_bytes, started_at,
+                    finished_at, local, batch_id,
+                )
+            )
+
+    def batch_executed(self, server_id: int, wqes: int) -> None:
+        """A doorbell batch was posted with *wqes* chained entries."""
+        self._batch_wqes.observe(wqes)
+
+    def attempt_failed(self, verb: Any, server_id: int, retried: bool) -> None:
+        """A verb/RPC attempt timed out; ``retried`` says whether another
+        attempt follows (False = the retry budget is spent)."""
+        name = getattr(verb, "value", verb)
+        key = (name, server_id)
+        handles = self._retry_handles.get(key)
+        if handles is None:
+            handles = (
+                self.registry.counter(
+                    "nam_verb_timeouts_total", verb=name, server=server_id
+                ),
+                self.registry.counter(
+                    "nam_verb_retries_total", verb=name, server=server_id
+                ),
+            )
+            self._retry_handles[key] = handles
+        handles[0].inc()
+        if retried:
+            handles[1].inc()
+
+    def rpc_served(self, server_id: int, queue_depth: int, service_s: float) -> None:
+        """An RPC worker finished a handler: record queue depth at dequeue
+        and end-to-end service time."""
+        handles = self._rpc_handles.get(server_id)
+        if handles is None:
+            handles = (
+                self.registry.counter("nam_rpcs_served_total", server=server_id),
+                self.registry.histogram("nam_rpc_queue_depth", server=server_id),
+                self.registry.histogram(
+                    "nam_rpc_service_seconds", server=server_id
+                ),
+            )
+            self._rpc_handles[server_id] = handles
+        handles[0].inc()
+        handles[1].observe(float(queue_depth))
+        handles[2].observe(service_s)
+
+    def lock_acquired(self) -> None:
+        self._lock_acquired.inc()
+
+    def lock_contended(self) -> None:
+        """A try_lock CAS lost the race (caller restarts or spins)."""
+        self._lock_contended.inc()
+
+    def lock_spin_round(self) -> None:
+        """One spin-pause while waiting out somebody else's lock."""
+        self._lock_spins.inc()
+
+    def lock_stolen(self) -> None:
+        """A lease-expired lock word was CAS-stolen (crash recovery)."""
+        self._lock_steals.inc()
+
+    def cache_hit(self) -> None:
+        self._cache_hits.inc()
+
+    def cache_miss(self) -> None:
+        self._cache_misses.inc()
+
+    def gc_sweep(self, leaves_seen: int, entries_removed: int) -> None:
+        self._gc_sweeps.inc()
+        self._gc_leaves.inc(leaves_seen)
+        self._gc_removed.inc(entries_removed)
+
+    # -- pull collectors ---------------------------------------------------------
+
+    def register_collector(self, collect: Callable[[MetricsRegistry], None]) -> None:
+        """Run *collect(registry)* at every snapshot — mirrors cumulative
+        counters the simulation keeps anyway into the registry for free."""
+        self._collectors.append(collect)
+
+    def attach_cluster(self, cluster: Any) -> None:
+        """Register the standard pull collector over a cluster's NIC ports,
+        verb stats, fault injector, replication manager, and sim kernel."""
+
+        def collect(reg: MetricsRegistry) -> None:
+            for server in cluster.memory_servers:
+                sid = server.server_id
+                port = server.port
+                reg.counter("nic_doorbells_total", server=sid).set_total(port.doorbells)
+                reg.counter("nic_wqes_posted_total", server=sid).set_total(
+                    port.wqes_posted
+                )
+                tx, rx = port.traffic()
+                reg.counter("nic_tx_bytes_total", server=sid).set_total(tx)
+                reg.counter("nic_rx_bytes_total", server=sid).set_total(rx)
+                reg.gauge("nam_rpc_queue_length", server=sid).set(len(server.srq))
+                reg.counter("nam_rpcs_handled_total", server=sid).set_total(
+                    server.rpcs_handled
+                )
+                for verb, count in server.stats.ops.items():
+                    reg.counter(
+                        "nam_server_verbs_total", server=sid, verb=verb.value
+                    ).set_total(count)
+                for verb, nbytes in server.stats.bytes.items():
+                    reg.counter(
+                        "nam_server_verb_bytes_total", server=sid, verb=verb.value
+                    ).set_total(nbytes)
+            for compute in cluster.compute_servers:
+                port = compute.port
+                reg.counter(
+                    "nic_doorbells_total", compute=compute.server_id
+                ).set_total(port.doorbells)
+                reg.counter(
+                    "nic_wqes_posted_total", compute=compute.server_id
+                ).set_total(port.wqes_posted)
+            injector = cluster.fault_injector
+            if injector is not None:
+                for event, count in injector.stats.items():
+                    reg.counter("nam_fault_events_total", event=event).set_total(count)
+            replication = cluster.replication
+            if replication is not None:
+                for event, count in replication.stats.items():
+                    reg.counter(
+                        "nam_replication_events_total", event=event
+                    ).set_total(count)
+            reg.gauge("sim_events_scheduled").set(cluster.sim.events_scheduled)
+            reg.gauge("sim_time_seconds").set(cluster.sim.now)
+
+        self.register_collector(collect)
+
+    # -- snapshot ---------------------------------------------------------------
+
+    @property
+    def ops_observed(self) -> int:
+        return self._op_seq
+
+    def snapshot(self) -> Dict[str, object]:
+        """Run the pull collectors, then render everything JSON-ready."""
+        for collect in self._collectors:
+            collect(self.registry)
+        base = self.registry.snapshot()
+        return {
+            "sim_time": base["sim_time"],
+            "ops_observed": self._op_seq,
+            "config": {
+                "sample_every": self.config.sample_every,
+                "slow_op_threshold_s": self.config.slow_op_threshold_s,
+            },
+            "metrics": base["metrics"],
+            "sampled_spans": [span.as_dict() for span in self.sampled_spans],
+            "slow_spans": [span.as_dict() for span in self.slow_spans],
+        }

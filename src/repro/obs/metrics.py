@@ -1,0 +1,274 @@
+"""Always-on metrics primitives: counters, gauges, log-bucketed histograms.
+
+Instruments are plain mutable objects handed out by a
+:class:`MetricsRegistry`. Call sites resolve their instrument handles
+once at wiring time and hold the reference, so an enabled hot path pays
+a couple of attribute operations per event — and a disabled hot path
+pays a single ``is None`` test, because no registry exists at all.
+
+Every instrument is stamped with *simulated* time on mutation (the
+registry carries the simulator clock). Nothing here touches wall-clock
+time and nothing schedules simulation events: metrics observe the
+simulation, they never perturb it (namsan rule N06 enforces this for
+the whole package).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.config import ObservabilityConfig
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+class Counter:
+    """Monotonically increasing count (ops, bytes, retries, ...)."""
+
+    __slots__ = ("name", "labels", "value", "updated_at", "_clock")
+
+    def __init__(self, name: str, labels: LabelPairs, clock: Callable[[], float]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.updated_at = clock()
+        self._clock = clock
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (amount={amount})")
+        self.value += amount
+        self.updated_at = self._clock()
+
+    def set_total(self, value: float) -> None:
+        """Overwrite with a cumulative total read from an external counter
+        (pull collectors mirroring NIC/injector/replication counters).
+        Still monotone: lowering the total is rejected."""
+        if value < self.value:
+            raise ValueError(
+                f"counter {self.name} cannot decrease ({self.value} -> {value})"
+            )
+        self.value = value
+        self.updated_at = self._clock()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "type": "counter",
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+            "updated_at": self.updated_at,
+        }
+
+
+class Gauge:
+    """Point-in-time level (queue depth, cache size, epoch, ...)."""
+
+    __slots__ = ("name", "labels", "value", "updated_at", "_clock")
+
+    def __init__(self, name: str, labels: LabelPairs, clock: Callable[[], float]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.updated_at = clock()
+        self._clock = clock
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updated_at = self._clock()
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+        self.updated_at = self._clock()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "type": "gauge",
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+            "updated_at": self.updated_at,
+        }
+
+
+class Histogram:
+    """Log-bucketed histogram for long-tailed quantities (latencies).
+
+    Bucket ``i`` covers ``[floor * base**i, floor * base**(i+1))``;
+    observations below ``floor`` land in bucket 0 and observations past
+    the last edge land in the overflow bucket. With the default config
+    (floor 100 ns, base 2, 40 buckets) the range spans 100 ns to ~30 h
+    of simulated time at ~2x resolution — plenty for verb latencies
+    through whole-experiment durations.
+    """
+
+    __slots__ = (
+        "name",
+        "labels",
+        "count",
+        "total",
+        "min",
+        "max",
+        "buckets",
+        "updated_at",
+        "_clock",
+        "_floor",
+        "_log_base",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelPairs,
+        clock: Callable[[], float],
+        floor: float,
+        base: float,
+        bucket_count: int,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        # bucket_count regular buckets + 1 overflow bucket.
+        self.buckets = [0] * (bucket_count + 1)
+        self.updated_at = clock()
+        self._clock = clock
+        self._floor = floor
+        self._log_base = math.log(base)
+
+    def observe(self, value: float) -> None:
+        if value <= self._floor:
+            index = 0
+        else:
+            index = int(math.log(value / self._floor) / self._log_base) + 1
+            if index >= len(self.buckets):
+                index = len(self.buckets) - 1
+        self.buckets[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.updated_at = self._clock()
+
+    def bucket_edges(self) -> List[float]:
+        """Upper edge of each bucket; the last is +inf (overflow)."""
+        base = math.exp(self._log_base)
+        edges = [self._floor * base**i for i in range(len(self.buckets) - 1)]
+        edges.append(math.inf)
+        return edges
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket upper edges (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        edges = self.bucket_edges()
+        for index, bucket in enumerate(self.buckets):
+            seen += bucket
+            if seen >= rank:
+                edge = edges[index]
+                return self.max if math.isinf(edge) else min(edge, self.max)
+        return self.max
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "labels": dict(self.labels),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+            "buckets": list(self.buckets),
+            # The overflow bucket's edge is "+Inf" (a string: JSON has no
+            # Infinity, and Prometheus spells it this way anyway).
+            "bucket_edges": [
+                edge if math.isfinite(edge) else "+Inf"
+                for edge in self.bucket_edges()
+            ],
+            "updated_at": self.updated_at,
+        }
+
+
+class MetricsRegistry:
+    """Named, labelled instrument store stamped with simulator time.
+
+    ``clock`` is the simulator clock (``lambda: sim.now``); it is the
+    only notion of time the registry knows about. Instruments are
+    interned by ``(name, labels)`` so repeated lookups return the same
+    object — call sites cache the handle and mutate it directly.
+    """
+
+    def __init__(self, clock: Callable[[], float], config: Optional[ObservabilityConfig] = None):
+        self._clock = clock
+        self._config = config if config is not None else ObservabilityConfig(enabled=True)
+        self._instruments: Dict[Tuple[str, LabelPairs], object] = {}
+
+    @staticmethod
+    def _label_pairs(labels: Dict[str, object]) -> LabelPairs:
+        return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+    def _intern(self, name: str, labels: Dict[str, object], factory) -> object:
+        key = (name, self._label_pairs(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory(key[1])
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        instrument = self._intern(
+            name, labels, lambda pairs: Counter(name, pairs, self._clock)
+        )
+        if not isinstance(instrument, Counter):
+            raise ConfigurationError(f"metric {name!r} already registered with another type")
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        instrument = self._intern(name, labels, lambda pairs: Gauge(name, pairs, self._clock))
+        if not isinstance(instrument, Gauge):
+            raise ConfigurationError(f"metric {name!r} already registered with another type")
+        return instrument
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        cfg = self._config
+        instrument = self._intern(
+            name,
+            labels,
+            lambda pairs: Histogram(
+                name, pairs, self._clock, cfg.bucket_floor, cfg.bucket_base, cfg.bucket_count
+            ),
+        )
+        if not isinstance(instrument, Histogram):
+            raise ConfigurationError(f"metric {name!r} already registered with another type")
+        return instrument
+
+    def instruments(self) -> Iterable[object]:
+        """All instruments in deterministic (name, labels) order."""
+        for key in sorted(self._instruments):
+            yield self._instruments[key]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready snapshot of every instrument, stamped with sim time."""
+        return {
+            "sim_time": self._clock(),
+            "metrics": [inst.as_dict() for inst in self.instruments()],  # type: ignore[attr-defined]
+        }

@@ -41,6 +41,12 @@ class Fabric:
         #: recording every one-sided memory effect for race detection.
         #: While None (the default) emission is a single attribute test.
         self.sanitizer = None
+        #: Optional :class:`repro.obs.hub.Observability` hub, set by the
+        #: cluster when ``ClusterConfig.observability.enabled``. While None
+        #: (the default) every metric/span emission point is a single
+        #: attribute test and runs are byte-identical to an
+        #: uninstrumented build.
+        self.obs = None
         # Monotone id for doorbell batches (tracing/debugging only).
         self._batch_seq = 0
 

@@ -150,9 +150,25 @@ class QueuePair:
         started_at: float,
         batch_id: Optional[int] = None,
     ) -> None:
+        """Completion chokepoint for every verb: feeds the (optional) verb
+        tracer and the (optional) observability hub. With both detached —
+        the default — this is two attribute-is-None tests and nothing else.
+        """
+        obs = self.fabric.obs
         tracer = self.fabric.tracer
         if tracer is not None:
             tracer.record(
+                verb,
+                self.remote.server_id,
+                payload_bytes,
+                started_at,
+                self.sim.now,
+                local=self.is_local,
+                batch_id=batch_id,
+                op_id=obs.current_op_id() if obs is not None else None,
+            )
+        if obs is not None:
+            obs.verb_completed(
                 verb,
                 self.remote.server_id,
                 payload_bytes,
@@ -276,6 +292,9 @@ class QueuePair:
                     return result
             # The request or response was lost: wait out the detection
             # timeout, then back off before the next attempt.
+            obs = self.fabric.obs
+            if obs is not None:
+                obs.attempt_failed(verb, server_id, retried=attempt < last_attempt)
             yield self.sim.timeout(retry.timeout_s)
             if attempt < last_attempt:
                 yield self.sim.timeout(injector.backoff_delay(attempt))
@@ -496,8 +515,14 @@ class QueuePair:
                         RpcEnvelope(self, request, reply, seq=seq, epoch=epoch)
                     )
             yield self.sim.any_of([reply, self.sim.timeout(retry.timeout_s)])
-            if not reply.triggered and attempt < last_attempt:
-                yield self.sim.timeout(injector.backoff_delay(attempt))
+            if not reply.triggered:
+                obs = self.fabric.obs
+                if obs is not None:
+                    obs.attempt_failed(
+                        Verb.SEND, server_id, retried=attempt < last_attempt
+                    )
+                if attempt < last_attempt:
+                    yield self.sim.timeout(injector.backoff_delay(attempt))
             if reply.triggered:
                 self._rpc_cache.pop(seq, None)
                 self._trace(Verb.SEND, request_wire_bytes, started_at)
@@ -683,6 +708,9 @@ class VerbBatch:
         num_atomics = sum(1 for op in ops if op[5])
         if not qp.is_local:
             qp.local_port.ring_doorbell(len(ops))
+            obs = qp.fabric.obs
+            if obs is not None:
+                obs.batch_executed(qp.remote.server_id, len(ops))
         batch_id = qp.fabric.next_batch_id()
         if qp.fabric.injector is not None and not qp.is_local:
             return (
@@ -706,7 +734,7 @@ class VerbBatch:
             if mirror_bytes is not None:
                 yield from qp._mirror(mirror_bytes(result))
             results.append(result)
-        if qp.fabric.tracer is not None:
+        if qp.fabric.tracer is not None or qp.fabric.obs is not None:
             for verb, payload_bytes, *_rest in ops:
                 qp._trace(verb, payload_bytes, started_at, batch_id=batch_id)
         return results
@@ -765,7 +793,7 @@ class VerbBatch:
                 if not injector.server_down(server_id) and not (
                     injector.should_drop_batch(verbs, server_id)
                 ):
-                    if qp.fabric.tracer is not None:
+                    if qp.fabric.tracer is not None or qp.fabric.obs is not None:
                         for verb, payload_bytes, *_rest in ops:
                             qp._trace(
                                 verb, payload_bytes, started_at, batch_id=batch_id
@@ -773,6 +801,11 @@ class VerbBatch:
                     return results
             # Request or response lost: wait out the detection timeout,
             # then back off before re-posting the chain.
+            obs = qp.fabric.obs
+            if obs is not None:
+                obs.attempt_failed(
+                    lead_verb, server_id, retried=attempt < last_attempt
+                )
             yield qp.sim.timeout(retry.timeout_s)
             if attempt < last_attempt:
                 yield qp.sim.timeout(injector.backoff_delay(attempt))

@@ -46,6 +46,11 @@ class TraceRecord:
     #: Verbs sharing a ``batch_id`` traveled in one request message and
     #: were acknowledged by one selectively-signaled completion.
     batch_id: Optional[int] = None
+    #: Operation id correlating this record with an observability
+    #: :class:`~repro.obs.spans.OpSpan` tree. Stamped only while an
+    #: :class:`~repro.obs.hub.Observability` hub is attached *and* the
+    #: verb ran inside a tracked operation; None otherwise.
+    op_id: Optional[int] = None
 
     @property
     def duration(self) -> float:
@@ -82,10 +87,11 @@ class VerbTracer:
         finished_at: float,
         local: bool = False,
         batch_id: Optional[int] = None,
+        op_id: Optional[int] = None,
     ) -> None:
         self.records.append(
             TraceRecord(verb, server_id, payload_bytes, started_at,
-                        finished_at, local, batch_id)
+                        finished_at, local, batch_id, op_id)
         )
 
     # -- reporting ---------------------------------------------------------------

@@ -39,6 +39,8 @@ _CSV_FIELDS = [
     "range_mean_latency_s",
     "insert_ops",
     "insert_mean_latency_s",
+    "errored_ops",
+    "retries",
 ]
 
 
@@ -70,6 +72,8 @@ def _row(key, result: RunResult) -> Dict[str, object]:
         "range_mean_latency_s": latency(OpType.RANGE),
         "insert_ops": result.op_counts.get(OpType.INSERT, 0),
         "insert_mean_latency_s": latency(OpType.INSERT),
+        "errored_ops": result.errored_ops,
+        "retries": result.retries,
     }
     if not isinstance(key, tuple):
         key = (key,)
@@ -123,15 +127,23 @@ def ascii_chart(
     if lengths != {len(x_labels)}:
         raise ConfigurationError("every series needs one value per x label")
     glyphs = "ox+*#@%&"
-    points = [value for values in series.values() for value in values if value > 0]
+    flat = [value for values in series.values() for value in values]
+    points = [value for value in flat if value > 0]
     if not points:
         raise ConfigurationError("chart needs at least one positive value")
+    has_clamped = any(value <= 0 for value in flat)
 
     def transform(value: float) -> float:
         return math.log10(value) if log_scale else value
 
     lo = min(transform(p) for p in points)
     hi = max(transform(p) for p in points)
+    if has_clamped:
+        # Zero/negative samples have no log image; widen the axis by one
+        # decade (or down to zero on linear charts) and clamp them onto
+        # that floor, so e.g. a throughput dip to zero during a crash
+        # renders on the bottom row instead of silently disappearing.
+        lo = lo - 1.0 if log_scale else min(lo, 0.0)
     span = (hi - lo) or 1.0
 
     columns = len(x_labels)
@@ -139,9 +151,8 @@ def ascii_chart(
     for index, (label, values) in enumerate(series.items()):
         glyph = glyphs[index % len(glyphs)]
         for x, value in enumerate(values):
-            if value <= 0:
-                continue
-            level = (transform(value) - lo) / span
+            # Non-positive values sit exactly on the clamp floor.
+            level = (transform(value) - lo) / span if value > 0 else 0.0
             row = height - 1 - int(round(level * (height - 1)))
             col = x * width_per_point + width_per_point // 2
             grid[row][col] = glyph

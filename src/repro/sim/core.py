@@ -133,12 +133,19 @@ class Process(Event):
     process may ``yield`` another and receive its result.
     """
 
-    __slots__ = ("_generator", "_killed")
+    __slots__ = ("_generator", "_killed", "span")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator) -> None:
         super().__init__(sim)
         self._generator = generator
         self._killed = False
+        #: Observability attribution: the deepest open span of the
+        #: operation this process works for, or None. Inherited from the
+        #: spawning process, so fan-out sub-processes (parallel reads,
+        #: batch chunks) report into their operation's span tree. The
+        #: kernel never reads this — it only carries it.
+        parent = sim._active
+        self.span = parent.span if parent is not None else None
         # Kick the process off at the current instant.
         bootstrap = Event(sim)
         bootstrap.add_callback(self._resume)
@@ -166,33 +173,42 @@ class Process(Event):
             if fired._is_error:
                 fired._defused = True
             return
-        while True:
-            try:
-                if fired._is_error:
-                    fired._defused = True
-                    target = self._generator.throw(fired.value)
-                else:
-                    target = self._generator.send(fired.value)
-            except StopIteration as stop:
-                self.succeed(stop.value)
-                return
-            except BaseException as exc:  # model code raised
-                self.fail(exc)
-                return
-            if not isinstance(target, Event):
-                self.fail(
-                    SimulationError(
-                        f"process yielded {target!r}, which is not an Event"
+        # While the generator runs, this process is the simulator's active
+        # process — the anchor observability uses to attribute events
+        # (verbs, span steps) to the operation being executed.
+        sim = self.sim
+        previous = sim._active
+        sim._active = self
+        try:
+            while True:
+                try:
+                    if fired._is_error:
+                        fired._defused = True
+                        target = self._generator.throw(fired.value)
+                    else:
+                        target = self._generator.send(fired.value)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:  # model code raised
+                    self.fail(exc)
+                    return
+                if not isinstance(target, Event):
+                    self.fail(
+                        SimulationError(
+                            f"process yielded {target!r}, which is not an Event"
+                        )
                     )
-                )
+                    return
+                if target.callbacks is None:
+                    # Already fired: loop and resume immediately without
+                    # recursing (keeps deep chains iterative).
+                    fired = target
+                    continue
+                target.add_callback(self._resume)
                 return
-            if target.callbacks is None:
-                # Already fired: loop and resume immediately without
-                # recursing (keeps deep chains iterative).
-                fired = target
-                continue
-            target.add_callback(self._resume)
-            return
+        finally:
+            sim._active = previous
 
 
 class Condition(Event):
@@ -253,6 +269,12 @@ class Simulator:
         self.now: float = 0.0
         self._heap: List[Any] = []
         self._sequence = 0
+        #: The :class:`Process` currently driving its generator, or None
+        #: (between events, or while firing non-process callbacks). Spawned
+        #: processes inherit their ``span`` from it; observability reads it
+        #: to attribute verbs to operations. Purely passive bookkeeping —
+        #: it never influences scheduling.
+        self._active: Optional[Process] = None
 
     # -- event factories ---------------------------------------------------
 

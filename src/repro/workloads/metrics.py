@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,10 +50,23 @@ class RunResult:
     #: asked for them (``keep_records=True``) — availability experiments
     #: use these to plot throughput dips and recovery times around crashes.
     raw_records: List[Tuple[str, float, float]] = field(default_factory=list)
+    #: Total verb/RPC retry attempts recorded by the observability
+    #: registry over the whole run. Stays 0 when observability is off
+    #: (the registry is the only place retries are counted per verb).
+    retries: int = 0
+    #: Full observability snapshot (metrics + sampled/slow span trees),
+    #: straight from :meth:`repro.obs.hub.Observability.snapshot`. None
+    #: unless the cluster was built with observability enabled.
+    observability: Optional[Dict[str, Any]] = None
 
     @property
     def total_ops(self) -> int:
         return sum(self.op_counts.values())
+
+    @property
+    def errored_ops(self) -> int:
+        """Operations that surfaced a typed fault inside the window."""
+        return sum(self.errors.values())
 
     @property
     def throughput(self) -> float:

@@ -145,6 +145,17 @@ class WorkloadRunner:
                     result.latencies.setdefault(op_type, []).append(end - start)
         if keep_records:
             result.raw_records = list(state.records)
+        obs = self.cluster.obs
+        if obs is not None:
+            snap = obs.snapshot()
+            result.observability = snap
+            result.retries = int(
+                sum(
+                    metric["value"]
+                    for metric in snap["metrics"]
+                    if metric["name"] == "nam_verb_retries_total"
+                )
+            )
         return result
 
     # ------------------------------------------------------------------ #
@@ -176,9 +187,14 @@ class WorkloadRunner:
         range_span = max(1, int(spec.selectivity * dataset.key_space))
         insert_seq = 0
         sim = self.cluster.sim
+        obs = self.cluster.obs
         while not state.stop:
             draw = rng.random()
             start = sim.now
+            # The op's final classification is only known after the fact
+            # (it may come back as a typed error), so the span is opened
+            # under a placeholder and renamed at end_op.
+            span = obs.begin_op("op", client_id) if obs is not None else None
             try:
                 if draw < spec.point_fraction:
                     key = dataset.key_at(chooser.next_index())
@@ -209,4 +225,6 @@ class WorkloadRunner:
                 # — the closed loop survives, mirroring an application that
                 # handles the error and continues.
                 op_type = f"{OpType.ERROR}:{type(exc).__name__}"
+            if span is not None:
+                obs.end_op(span, op_type)
             state.records.append((op_type, start, sim.now))

@@ -1,0 +1,23 @@
+"""N06 fixture: wall-clock reads inside observability code."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+class LeakyRegistry:
+    def __init__(self):
+        self.samples = []
+
+    def observe(self, value):
+        # Stamping a metric sample with the host clock: the snapshot is no
+        # longer comparable across hosts or replays.
+        self.samples.append((time.time(), value))
+
+
+def span_started():
+    return perf_counter()
+
+
+def snapshot_label():
+    return datetime.now().isoformat()

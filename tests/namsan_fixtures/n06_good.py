@@ -1,0 +1,19 @@
+"""N06 fixture: observability stamped with simulator time only."""
+
+
+class SimClockRegistry:
+    def __init__(self, clock):
+        #: ``clock`` is ``lambda: sim.now`` — virtual time, never the host's.
+        self.clock = clock
+        self.samples = []
+
+    def observe(self, value):
+        self.samples.append((self.clock(), value))
+
+
+def span_started(sim):
+    return sim.now
+
+
+def duration(span, sim):
+    return sim.now - span.started_at

@@ -27,6 +27,7 @@ CASES = {
     "N03": ("src/repro/index", 3),
     "N04": ("src/repro/nam", 3),
     "N05": ("src/repro/nam", 3),
+    "N06": ("src/repro/obs", 3),
 }
 
 
@@ -92,6 +93,17 @@ def test_n01_scoped_to_simulated_system():
     assert len(lint_source(source, "src/repro/rdma/x.py")) == 1
     # Experiment drivers may read wall clocks (progress printing etc).
     assert lint_source(source, "src/repro/experiments/x.py") == []
+
+
+def test_n06_scoped_to_obs_package():
+    source = "import time\n\ndef f():\n    return time.time()\n"
+    assert [v.rule for v in lint_source(source, "src/repro/obs/x.py")] == ["N06"]
+    # Outside repro/obs the same read is N01's business (or nobody's).
+    assert lint_source(source, "src/repro/sim/x.py", rules=["N06"]) == []
+    assert lint_source(source, "src/repro/experiments/x.py", rules=["N06"]) == []
+    # Unlike N01, stdlib random is not N06's concern (it has no timestamp).
+    rand = "import random\n\ndef f():\n    return random.random()\n"
+    assert lint_source(rand, "src/repro/obs/x.py", rules=["N06"]) == []
 
 
 def test_n04_allows_system_exit_only_under_main_guard():

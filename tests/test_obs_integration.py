@@ -1,0 +1,268 @@
+"""End-to-end observability: spans reconcile with NIC counters, enabled
+runs don't perturb the simulation, and the disabled path does no work.
+
+These are the PR's acceptance tests:
+
+* a sampled span tree's remote-only verb count reconciles *exactly* with
+  the compute NIC's work-queue-entry counter (every non-local verb posts
+  one WQE; local fast-path verbs post none);
+* a smoke-class workload run with observability on emits a valid
+  Prometheus exposition, JSON snapshot and span trees, and the pull
+  collectors mirror the real NIC counters verbatim;
+* an observability-enabled run produces byte-identical *simulated*
+  results to a disabled run (the hub never schedules events);
+* a disabled cluster executes zero metric/span code (monkeypatched
+  instruments that raise are never reached).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Cluster, ClusterConfig, FaultPlan, FineGrainedIndex
+from repro.obs import ObservabilityConfig, prometheus_text, validate_prometheus_text
+from repro.workloads import WorkloadRunner, WorkloadSpec, generate_dataset
+
+SPEC = WorkloadSpec(
+    name="obs-mix",
+    point_fraction=0.7,
+    range_fraction=0.0,
+    insert_fraction=0.3,
+    selectivity=0.0,
+)
+
+
+def obs_config(**kwargs):
+    kwargs.setdefault("enabled", True)
+    return ObservabilityConfig(**kwargs)
+
+
+def fresh_cluster(observability=None, seed=23):
+    return Cluster(
+        ClusterConfig(
+            num_memory_servers=2,
+            seed=seed,
+            observability=observability or ObservabilityConfig(),
+        )
+    )
+
+
+def run_workload(cluster, *, num_keys=400, clients=6, measure_s=0.003, seed=29):
+    dataset = generate_dataset(num_keys, gap=4)
+    index = FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+    runner = WorkloadRunner(cluster, dataset, clients_per_compute_server=6)
+    result = runner.run(
+        index, SPEC, num_clients=clients, warmup_s=0.0005,
+        measure_s=measure_s, seed=seed,
+    )
+    return result
+
+
+class TestSpanReconciliation:
+    def _traced(self, cluster, gen, name):
+        """Wrap one index operation in a root span, the way the workload
+        runner does, and hand the span back for inspection."""
+
+        def wrapper():
+            span = cluster.obs.begin_op("op")
+            result = yield from gen
+            cluster.obs.end_op(span, name)
+            return span, result
+
+        return cluster.execute(wrapper())
+
+    def test_remote_verbs_equal_posted_wqes(self):
+        """Exact reconciliation: every remote verb in the span tree is one
+        WQE on the issuing compute server's NIC, and vice versa."""
+        cluster = fresh_cluster(obs_config(sample_every=1))
+        dataset = generate_dataset(300, gap=4)
+        index = FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+        compute = cluster.new_compute_server()
+        session = index.session(compute)
+
+        for name, gen, expect in [
+            ("point", session.lookup(dataset.key_at(150)), [150]),
+            ("insert", session.insert(dataset.key_at(150) + 1, 999), None),
+            ("point", session.lookup(dataset.key_at(150) + 1), [999]),
+        ]:
+            before = compute.port.wqes_posted
+            span, result = self._traced(cluster, gen, name)
+            delta = compute.port.wqes_posted - before
+            assert delta > 0
+            assert span.total_verbs(remote_only=True) == delta
+            if expect is not None:
+                assert result == expect
+            # The tree has structure, not just a flat root.
+            assert any(s.kind in ("descend", "move_right")
+                       for s in span.iter_spans())
+            # Every span in the tree carries the root's op id.
+            assert {s.op_id for s in span.iter_spans()} == {span.op_id}
+
+    def test_colocated_local_verbs_post_no_wqes(self):
+        """On a colocated cluster the local fast path skips the NIC, and
+        remote-only counting is what keeps reconciliation exact."""
+        cluster = Cluster(
+            ClusterConfig(
+                num_memory_servers=2, colocated=True, seed=23,
+                observability=obs_config(sample_every=1),
+            )
+        )
+        dataset = generate_dataset(300, gap=4)
+        index = FineGrainedIndex.build(cluster, "idx", dataset.pairs())
+        compute = cluster.new_compute_server()
+        session = index.session(compute)
+        before = compute.port.wqes_posted
+        span, _ = self._traced(cluster, session.lookup(dataset.key_at(10)), "point")
+        delta = compute.port.wqes_posted - before
+        assert span.total_verbs(remote_only=True) == delta
+        # The local fast path was actually exercised somewhere in the op,
+        # or the colocation stub is broken.
+        assert span.total_verbs() >= span.total_verbs(remote_only=True)
+
+
+class TestWorkloadRun:
+    def test_smoke_run_emits_valid_artifacts(self):
+        cluster = fresh_cluster(obs_config(sample_every=8))
+        result = run_workload(cluster)
+        snap = result.observability
+        assert snap is not None
+        assert len(snap["sampled_spans"]) >= 1
+        assert snap["ops_observed"] >= result.total_ops
+        assert validate_prometheus_text(prometheus_text(snap)) > 0
+
+    def test_pull_collectors_mirror_nic_counters_exactly(self):
+        cluster = fresh_cluster(obs_config())
+        result = run_workload(cluster)
+        mirrored = {}
+        for metric in result.observability["metrics"]:
+            if metric["name"] != "nic_wqes_posted_total":
+                continue
+            labels = metric["labels"]
+            if "server" in labels:  # label values are strings in snapshots
+                mirrored[("m", int(labels["server"]))] = metric["value"]
+            else:
+                mirrored[("c", int(labels["compute"]))] = metric["value"]
+        actual = {}
+        for server in cluster.memory_servers:
+            actual[("m", server.server_id)] = server.port.wqes_posted
+        for compute in cluster.compute_servers:
+            actual[("c", compute.server_id)] = compute.port.wqes_posted
+        # The snapshot was taken at the end of the run; ports are idle
+        # afterwards, so the mirror must be verbatim.
+        assert mirrored == actual
+        assert sum(v for (kind, _), v in actual.items() if kind == "c") > 0
+
+    def test_op_counter_matches_runner_tally(self):
+        cluster = fresh_cluster(obs_config())
+        result = run_workload(cluster)
+        by_type = {
+            metric["labels"]["type"]: metric["value"]
+            for metric in result.observability["metrics"]
+            if metric["name"] == "nam_ops_total"
+        }
+        # The registry counts every operation, warmup included; the run
+        # result only counts the measurement window.
+        assert sum(by_type.values()) >= result.total_ops + result.errored_ops
+        assert by_type.get("point", 0) > 0
+
+    def test_retries_surface_in_result(self):
+        cluster = fresh_cluster(obs_config())
+        cluster.attach_faults(FaultPlan(seed=97, drop_probability=0.05))
+        result = run_workload(cluster)
+        from_registry = sum(
+            metric["value"]
+            for metric in result.observability["metrics"]
+            if metric["name"] == "nam_verb_retries_total"
+        )
+        assert result.retries == from_registry
+        assert result.retries > 0
+
+
+def _simulated_fingerprint(result, cluster):
+    """Everything the simulation computes, serialized — deliberately
+    excluding the observability-only fields (snapshot, retries)."""
+    return "\n".join(
+        [
+            repr(sorted(result.op_counts.items())),
+            repr(sorted(result.errors.items())),
+            repr({op: [f"{s:.12e}" for s in samples]
+                  for op, samples in sorted(result.latencies.items())}),
+            repr(sorted(result.network.items())),
+            f"events={cluster.sim.events_scheduled}",
+            f"final_now={cluster.now:.12e}",
+        ]
+    )
+
+
+class TestZeroPerturbation:
+    def test_enabled_run_matches_disabled_run_byte_for_byte(self):
+        """The tentpole invariant: attaching the full observability stack
+        changes nothing about the simulation itself."""
+        disabled = fresh_cluster()
+        base = _simulated_fingerprint(run_workload(disabled), disabled)
+        enabled = fresh_cluster(obs_config(sample_every=4))
+        instrumented = _simulated_fingerprint(run_workload(enabled), enabled)
+        assert base.encode() == instrumented.encode()
+
+    def test_disabled_run_is_deterministic(self):
+        first = fresh_cluster()
+        second = fresh_cluster()
+        a = _simulated_fingerprint(run_workload(first), first)
+        b = _simulated_fingerprint(run_workload(second), second)
+        assert a.encode() == b.encode()
+
+    def test_disabled_cluster_reaches_no_metric_code(self, monkeypatch):
+        """The `is None` fast path is total: with observability off, not a
+        single instrument or span method may execute."""
+        from repro.obs import hub, metrics, spans
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("metric work on the disabled path")
+
+        monkeypatch.setattr(metrics.Counter, "inc", boom)
+        monkeypatch.setattr(metrics.Counter, "set_total", boom)
+        monkeypatch.setattr(metrics.Gauge, "set", boom)
+        monkeypatch.setattr(metrics.Histogram, "observe", boom)
+        monkeypatch.setattr(spans.OpSpan, "__init__", boom)
+        monkeypatch.setattr(hub.Observability, "begin_op", boom)
+        cluster = fresh_cluster()
+        assert cluster.obs is None
+        result = run_workload(cluster, measure_s=0.002)
+        assert result.observability is None
+        assert result.retries == 0
+        assert result.total_ops > 0
+
+
+class TestCli:
+    def test_run_then_validate_round_trip(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        out = tmp_path / "obs-out"
+        assert main([
+            "run", "--out-dir", str(out), "--clients", "4",
+            "--sample-every", "8",
+        ]) == 0
+        for name in ("metrics.prom", "snapshot.json", "trace.json"):
+            assert (out / name).exists()
+        assert main(["validate", str(out)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_empty_dir_fails(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        assert main(["validate", str(tmp_path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_validate_rejects_corrupt_artifact(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        out = tmp_path / "obs-out"
+        assert main([
+            "run", "--out-dir", str(out), "--clients", "4",
+        ]) == 0
+        (out / "snapshot.json").write_text("{}")
+        capsys.readouterr()
+        assert main(["validate", str(out)]) == 1
+        report = capsys.readouterr().out
+        assert "snapshot.json: FAIL" in report
+        assert "metrics.prom: OK" in report

@@ -1,0 +1,314 @@
+"""Unit tests for the observability primitives and exporters.
+
+Covers the instrument types (counter / gauge / log-bucketed histogram),
+registry interning and snapshots, configuration validation, and the three
+export formats with their strict re-parsers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, ValidationError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObservabilityConfig,
+    chrome_trace,
+    prometheus_text,
+    to_json,
+    validate_chrome_trace,
+    validate_json_snapshot,
+    validate_prometheus_text,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def registry(clock):
+    return MetricsRegistry(clock, ObservabilityConfig(enabled=True))
+
+
+class TestConfig:
+    def test_defaults_disabled(self):
+        assert ObservabilityConfig().enabled is False
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sample_every": 0},
+            {"max_sampled_spans": 0},
+            {"max_slow_spans": 0},
+            {"slow_op_threshold_s": 0.0},
+            {"slow_op_threshold_s": -1.0},
+            {"bucket_floor": 0.0},
+            {"bucket_base": 1.0},
+            {"bucket_count": 0},
+            {"bucket_count": 1000},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ObservabilityConfig(**kwargs)
+
+    def test_none_threshold_disables_slow_capture(self):
+        config = ObservabilityConfig(slow_op_threshold_s=None)
+        assert config.slow_op_threshold_s is None
+
+
+class TestCounter:
+    def test_inc_and_timestamp(self, clock):
+        counter = Counter("c", (), clock)
+        clock.now = 2.5
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.updated_at == 2.5
+
+    def test_negative_increment_rejected(self, clock):
+        with pytest.raises(ValueError):
+            Counter("c", (), clock).inc(-1)
+
+    def test_set_total_is_monotone(self, clock):
+        counter = Counter("c", (), clock)
+        counter.set_total(10)
+        counter.set_total(10)
+        with pytest.raises(ValueError):
+            counter.set_total(9)
+        assert counter.value == 10
+
+
+class TestGauge:
+    def test_set_and_add(self, clock):
+        gauge = Gauge("g", (), clock)
+        gauge.set(7)
+        gauge.add(-3)
+        assert gauge.value == 4
+
+
+class TestHistogram:
+    def make(self, clock, floor=1e-6, base=2.0, count=8):
+        return Histogram("h", (), clock, floor, base, count)
+
+    def test_bucket_placement(self, clock):
+        hist = self.make(clock)
+        hist.observe(0.0)        # at/below the floor -> bucket 0
+        hist.observe(1e-6)       # exactly the floor -> bucket 0
+        hist.observe(3e-6)       # (2us, 4us) -> bucket 2
+        hist.observe(1.0)        # beyond the last edge -> overflow
+        assert hist.buckets[0] == 2
+        assert hist.buckets[2] == 1
+        assert hist.buckets[-1] == 1
+        assert hist.count == 4
+
+    def test_edges_are_geometric_and_inf_terminated(self, clock):
+        hist = self.make(clock, floor=1e-6, base=2.0, count=4)
+        edges = hist.bucket_edges()
+        assert edges[:3] == pytest.approx([1e-6, 2e-6, 4e-6])
+        assert math.isinf(edges[-1])
+        assert len(edges) == len(hist.buckets)
+
+    def test_stats_and_quantiles(self, clock):
+        hist = self.make(clock)
+        for value in (1e-6, 2e-6, 4e-6, 8e-6):
+            hist.observe(value)
+        assert hist.min == 1e-6
+        assert hist.max == 8e-6
+        assert hist.mean == pytest.approx(3.75e-6)
+        assert hist.quantile(0.0) <= hist.quantile(0.5) <= hist.quantile(1.0)
+        assert hist.quantile(1.0) <= hist.max
+
+    def test_quantile_bounds_checked(self, clock):
+        with pytest.raises(ValueError):
+            self.make(clock).quantile(1.5)
+
+    def test_as_dict_is_json_safe(self, clock):
+        hist = self.make(clock)
+        hist.observe(5.0)  # lands in the +Inf overflow bucket
+        rendered = json.dumps(hist.as_dict())
+        assert "+Inf" in rendered
+        assert "Infinity" not in rendered
+
+
+class TestRegistry:
+    def test_interning_returns_same_object(self, registry):
+        a = registry.counter("x", server=1)
+        b = registry.counter("x", server=1)
+        assert a is b
+        assert registry.counter("x", server=2) is not a
+
+    def test_label_order_does_not_matter(self, registry):
+        a = registry.counter("x", a=1, b=2)
+        b = registry.counter("x", b=2, a=1)
+        assert a is b
+
+    def test_type_mismatch_rejected(self, registry):
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("x")
+
+    def test_snapshot_deterministic_order(self, registry, clock):
+        registry.counter("b")
+        registry.counter("a", z=1)
+        registry.gauge("a", y=2)
+        clock.now = 1.25
+        snap = registry.snapshot()
+        assert snap["sim_time"] == 1.25
+        names = [(m["name"], tuple(sorted(m["labels"].items()))) for m in snap["metrics"]]
+        assert names == sorted(names)
+
+    def test_instruments_stamped_with_sim_clock(self, registry, clock):
+        counter = registry.counter("c")
+        clock.now = 9.0
+        counter.inc()
+        assert counter.updated_at == 9.0
+
+
+def _sample_snapshot(clock):
+    registry = MetricsRegistry(clock, ObservabilityConfig(enabled=True))
+    registry.counter("nam_verbs_total", verb="read", server=0).inc(3)
+    registry.gauge("nam_rpc_queue_length", server=0).set(2)
+    hist = registry.histogram("nam_verb_latency_seconds", verb="read", server=0)
+    for value in (1e-6, 3e-6, 2.0):
+        hist.observe(value)
+    snap = registry.snapshot()
+    snap["sampled_spans"] = [
+        {
+            "op_id": 1,
+            "kind": "op",
+            "name": "point",
+            "client_id": 4,
+            "started_at": 0.001,
+            "finished_at": 0.002,
+            "verbs": [
+                {
+                    "verb": "read",
+                    "server_id": 0,
+                    "payload_bytes": 1024,
+                    "started_at": 0.001,
+                    "finished_at": 0.0015,
+                    "local": False,
+                    "batch_id": None,
+                }
+            ],
+            "children": [
+                {
+                    "op_id": 1,
+                    "kind": "descend",
+                    "name": "level_1",
+                    "client_id": 4,
+                    "started_at": 0.0015,
+                    "finished_at": 0.002,
+                    "verbs": [],
+                    "children": [],
+                }
+            ],
+        }
+    ]
+    snap["slow_spans"] = []
+    snap["ops_observed"] = 1
+    return snap
+
+
+class TestExporters:
+    def test_prometheus_round_trip(self, clock):
+        text = prometheus_text(_sample_snapshot(clock))
+        assert "# TYPE nam_verbs_total counter" in text
+        assert 'le="+Inf"' in text
+        samples = validate_prometheus_text(text)
+        assert samples > 0
+
+    def test_prometheus_buckets_cumulative(self, clock):
+        text = prometheus_text(_sample_snapshot(clock))
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("nam_verb_latency_seconds_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_json_round_trip(self, clock):
+        snap = _sample_snapshot(clock)
+        parsed = validate_json_snapshot(to_json(snap))
+        assert parsed["sim_time"] == snap["sim_time"]
+        # Deterministic serialization: same dict, same bytes.
+        assert to_json(snap) == to_json(json.loads(to_json(snap)))
+
+    def test_chrome_trace_round_trip(self, clock):
+        document = chrome_trace(_sample_snapshot(clock))
+        events = document["traceEvents"]
+        # Root span + child span + one verb event.
+        assert len(events) == 3
+        assert all(event["ph"] == "X" for event in events)
+        assert {event["tid"] for event in events} == {1}
+        assert validate_chrome_trace(json.dumps(document)) == 3
+
+    def test_chrome_trace_dedups_sampled_and_slow(self, clock):
+        snap = _sample_snapshot(clock)
+        snap["slow_spans"] = snap["sampled_spans"]  # same op in both lists
+        document = chrome_trace(snap)
+        assert len(document["traceEvents"]) == 3
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "garbage\n",
+            "# TYPE x counter\nx nope\n",
+            "x{a=\"1\"} 4\n",  # sample without a TYPE declaration
+        ],
+    )
+    def test_prometheus_validator_rejects(self, text):
+        with pytest.raises(ValidationError):
+            validate_prometheus_text(text)
+
+    def test_prometheus_validator_rejects_non_cumulative_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\nh_count 5\n"
+        )
+        with pytest.raises(ValidationError):
+            validate_prometheus_text(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["not json", "{}", '{"sim_time": 1, "metrics": {}}'],
+    )
+    def test_json_validator_rejects(self, text):
+        with pytest.raises(ValidationError):
+            validate_json_snapshot(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not json",
+            "{}",
+            '{"traceEvents": [{"name": "x"}]}',
+            '{"traceEvents": [{"name": "x", "ph": "X", "ts": 0, "pid": 0, "tid": 1}]}',
+        ],
+    )
+    def test_chrome_validator_rejects(self, text):
+        with pytest.raises(ValidationError):
+            validate_chrome_trace(text)

@@ -58,6 +58,18 @@ class TestCsv:
         write_csv({"k": make_result()}, str(path))
         assert path.read_text().startswith("key_0,")
 
+    def test_error_and_retry_columns(self):
+        result = make_result()
+        result.errors = {"RetriesExhaustedError": 3, "TimeoutError_": 2}
+        result.retries = 17
+        rows = list(csv.DictReader(io.StringIO(results_to_csv({"k": result}))))
+        assert rows[0]["errored_ops"] == "5"
+        assert rows[0]["retries"] == "17"
+        # A clean run exports explicit zeros, not blanks.
+        clean = list(csv.DictReader(io.StringIO(results_to_csv({"k": make_result()}))))
+        assert clean[0]["errored_ops"] == "0"
+        assert clean[0]["retries"] == "0"
+
 
 class TestAsciiChart:
     def test_renders_all_series_and_labels(self):
@@ -82,6 +94,31 @@ class TestAsciiChart:
     def test_all_zero_rejected(self):
         with pytest.raises(ConfigurationError):
             ascii_chart({"s": [0, 0]}, x_labels=["a", "b"])
+
+    def test_zero_points_clamp_to_floor_on_log_scale(self):
+        # Regression: a zero sample used to vanish from log-scale charts
+        # (it has no log image). It must now render on the bottom row.
+        chart = ascii_chart({"s": [100, 0, 10_000]}, x_labels=["a", "b", "c"])
+        plot_rows = [
+            line for line in chart.splitlines() if "|" in line
+        ]
+        bottom = plot_rows[-1]
+        # The zero sample's glyph sits in the middle column, bottom row.
+        assert "o" in bottom
+        # All three samples are plotted (legend contributes one more "o").
+        marks = sum(row.count("o") for row in plot_rows)
+        assert marks == 3
+
+    def test_negative_points_clamp_on_linear_scale(self):
+        chart = ascii_chart(
+            {"s": [5.0, -1.0, 10.0]},
+            x_labels=["a", "b", "c"],
+            log_scale=False,
+        )
+        plot_rows = [line for line in chart.splitlines() if "|" in line]
+        marks = sum(row.count("o") for row in plot_rows)
+        assert marks == 3
+        assert "o" in plot_rows[-1]
 
 
 class TestCli:
