@@ -23,10 +23,19 @@ def test_caching_strategies(benchmark, run_once, bench_scale):
     assert all_a.throughput > top_a.throughput > none_a.throughput
     assert all_hits > top_hits > 0
 
+    # The coherent depth-2 strategy (no TTL; epoch + version revalidation,
+    # see docs/caching.md) must keep up with the TTL strategies on reads.
+    coh_a, coh_hits, coh_reads = results[("A", "depth-2")]
+    assert coh_a.throughput > top_a.throughput > none_a.throughput
+    assert coh_reads < top_reads
+    assert coh_hits > 0
+
     # Writes erode every strategy's benefit, but never below the baseline.
     none_d, _, _ = results[("D", "none")]
     all_d, _, _ = results[("D", "all-inner")]
+    coh_d, _, _ = results[("D", "depth-2")]
     assert all_d.throughput > none_d.throughput
+    assert coh_d.throughput > none_d.throughput
     assert (all_d.throughput / none_d.throughput) < (
         all_a.throughput / none_a.throughput
     )

@@ -22,6 +22,7 @@ paper-vs-measured record of every reproduced table and figure.
 """
 
 from repro.config import (
+    CacheConfig,
     ClusterConfig,
     CpuConfig,
     NetworkConfig,
@@ -45,6 +46,7 @@ from repro.index import (
     HybridIndex,
     IndexSession,
     RangePartitioner,
+    RemoteCache,
     VerifyReport,
     cached_session,
     verify_index,
@@ -58,6 +60,7 @@ from repro.reporting import ascii_chart, results_to_csv, write_csv
 __version__ = "1.0.0"
 
 __all__ = [
+    "CacheConfig",
     "ClusterConfig",
     "CpuConfig",
     "NetworkConfig",
@@ -81,6 +84,7 @@ __all__ = [
     "HybridIndex",
     "IndexSession",
     "RangePartitioner",
+    "RemoteCache",
     "cached_session",
     "VerifyReport",
     "verify_index",

@@ -33,6 +33,7 @@ EXPERIMENTS = {
     "srq": ("Ablation: shared receive queues", "ablation_srq"),
     "reqskew": ("Extension: Zipfian request skew", "ext_request_skew"),
     "cachestrat": ("Extension: caching strategies", "ext_caching_strategies"),
+    "cachedepth": ("Extension: coherent cache-depth sweep", "ext_cache_depth"),
     "pagesize": ("Extension: page-size sensitivity", "ext_page_size"),
     "availability": ("Extension: crash availability & replication", "ext_availability"),
 }
@@ -60,8 +61,8 @@ def _run_experiment(name: str, scale):
     elif name == "fig03":
         module.main()
         return None
-    elif name in ("a4", "reqskew", "contention", "cachestrat", "pagesize",
-                  "availability"):
+    elif name in ("a4", "reqskew", "contention", "cachestrat", "cachedepth",
+                  "pagesize", "availability"):
         results = module.run(scale=scale)
         module.print_figure(results)
     else:
@@ -82,6 +83,12 @@ def cmd_run(args) -> None:
     if args.csv:
         if results is None:
             print("(this experiment is analytical; nothing to export)")
+            return
+        if args.experiment == "cachedepth":
+            print(
+                "(cache cells are not RunResults; use `python -m "
+                "repro.experiments.ext_cache_depth --json PATH` instead)"
+            )
             return
         from repro.reporting import write_csv
 

@@ -64,6 +64,17 @@ class BLinkTree:
         self.max_entries = fanout(accessor.page_size)
         self.use_head_nodes = use_head_nodes
         self.prefetch_window = prefetch_window
+        #: Optional no-arg callback fired after this tree modifies an
+        #: *inner* node (separator install, inner split, root growth).
+        #: The index designs wire it to the catalog's per-index structure
+        #: epoch so client-side caches know their images may be stale
+        #: (docs/caching.md). Pure bookkeeping: never schedules events.
+        self.on_structure_change = None
+
+    def _structure_changed(self) -> None:
+        callback = self.on_structure_change
+        if callback is not None:
+            callback()
 
     # ------------------------------------------------------------------ #
     # navigation helpers                                                  #
@@ -409,6 +420,7 @@ class BLinkTree:
             if node.count < self.max_entries:
                 node.insert_entry(sep_key, new_child)
                 yield from self.acc.unlock_write(raw_ptr, node)
+                self._structure_changed()
                 return
             sibling, up_key = self._split_for_insert(node, sep_key)
             new_ptr = yield from self.acc.alloc(node.level)
@@ -419,6 +431,7 @@ class BLinkTree:
                 sibling.insert_entry(sep_key, new_child)
             yield from self.acc.write_node(new_ptr, sibling)
             yield from self.acc.unlock_write(raw_ptr, node)
+            self._structure_changed()
             level, sep_key = level + 1, up_key
             new_child, split_child = new_ptr, raw_ptr
 
@@ -439,6 +452,8 @@ class BLinkTree:
         swapped = yield from self.root.compare_and_swap(old_root, new_root_ptr)
         # On a lost race the freshly written page is simply abandoned; the
         # epoch garbage collector reclaims unreferenced pages eventually.
+        if swapped:
+            self._structure_changed()
         return swapped
 
     def update(self, key: int, value: int) -> Generator[Any, Any, bool]:

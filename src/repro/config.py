@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.errors import ConfigurationError, ConfigurationWarning
 from repro.obs.config import ObservabilityConfig
@@ -22,6 +23,7 @@ __all__ = [
     "CpuConfig",
     "TreeConfig",
     "RetryConfig",
+    "CacheConfig",
     "ObservabilityConfig",
     "ClusterConfig",
 ]
@@ -235,6 +237,45 @@ class RetryConfig:
 
 
 @dataclass(frozen=True)
+class CacheConfig:
+    """Client-side index-node cache (Appendix A.4 / docs/caching.md).
+
+    ``depth`` is the design axis: how many of the top tree levels each
+    client caches. Depth 1 caches only the root level, depth 2 the root
+    plus the level below it, and so on — always clipped above the leaves
+    (a stale leaf would return wrong data, so leaves are never cached).
+    Depth 0 (the default) disables the cache entirely and keeps every
+    session bit-identical to the uncached build.
+
+    Coherence: cached images are trusted for *routing* only as long as the
+    index's structure epoch (bumped by inner-node SMOs, published through
+    the catalog) has not moved; afterwards they are revalidated with a
+    1-verb READ of the page's version word. On the write path, a lock
+    attempt whose version came from the cache is preceded by the same
+    header READ when ``validate_writes`` is set.
+    """
+
+    #: Top tree levels cached per client (0 disables the cache).
+    depth: int = 0
+    #: LRU capacity in pages, per client session.
+    capacity: int = 4096
+    #: Optional extra staleness bound; None relies purely on epoch/version
+    #: revalidation (the coherent default).
+    ttl_s: Optional[float] = None
+    #: Revalidate cache-served versions with a header READ before CASing
+    #: them on the lock path.
+    validate_writes: bool = True
+
+    def __post_init__(self) -> None:
+        if self.depth < 0:
+            raise ConfigurationError("cache depth must be >= 0")
+        if self.capacity < 0:
+            raise ConfigurationError("cache capacity must be >= 0")
+        if self.ttl_s is not None and self.ttl_s <= 0:
+            raise ConfigurationError("cache ttl_s must be > 0 (or None)")
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Topology of the simulated NAM cluster.
 
@@ -266,6 +307,10 @@ class ClusterConfig:
     cpu: CpuConfig = field(default_factory=CpuConfig)
     tree: TreeConfig = field(default_factory=TreeConfig)
     retry: RetryConfig = field(default_factory=RetryConfig)
+    #: Client-side index-node cache. Off by default (depth 0): sessions
+    #: then use the plain one-sided accessors, byte-identical to builds
+    #: without the subsystem. See docs/caching.md.
+    cache: CacheConfig = field(default_factory=CacheConfig)
     #: Fabric-wide observability (metrics registry + span sampling). Off by
     #: default: no hub is created and every instrumentation point is a
     #: single ``is None`` test, keeping runs byte-identical to builds

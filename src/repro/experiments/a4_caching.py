@@ -6,6 +6,11 @@ saves most of the traversal round trips — and on an insert-heavy workload,
 where invalidations and TTL expiry erode the benefit. Reports throughput
 and the cache hit rate.
 
+See also :mod:`repro.experiments.ext_caching_strategies` for the
+strategy comparison (including the coherent, TTL-free strategy) and
+:mod:`repro.experiments.ext_cache_depth` for the full cache-depth x skew
+x write-ratio sweep backing ``BENCH_caching.json``.
+
 Run with ``python -m repro.experiments.a4_caching``.
 """
 

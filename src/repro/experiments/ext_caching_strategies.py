@@ -10,10 +10,18 @@ write-heavy workload:
 * ``all-inner``  — cache every inner node (LRU + TTL);
 * ``top-levels`` — cache only levels >= 2: fewer and hotter pages whose
   contents change orders of magnitude less often than the leaves'
-  parents, so a longer TTL is safe.
+  parents, so a longer TTL is safe;
+* ``depth-2``    — the coherent strategy (docs/caching.md): cache the top
+  two tree levels with **no TTL at all** — staleness is bounded by
+  structure-epoch revalidation and version-validated writes instead of a
+  clock, so hot images never expire while the tree is quiet.
 
 Reported per strategy: throughput, cache hit rate, and the remote READs
-issued per operation (the traversal round trips actually saved).
+issued per operation (the traversal round trips actually saved;
+revalidation header READs included).
+
+The full depth x skew x write-ratio sweep (and the CI cache perf gate)
+lives in :mod:`repro.experiments.ext_cache_depth`.
 
 Run with ``python -m repro.experiments.ext_caching_strategies``.
 """
@@ -41,11 +49,12 @@ from repro.workloads import (
 
 __all__ = ["run", "print_figure", "main", "STRATEGIES"]
 
-#: name -> (cached?, min_cached_level, ttl_s)
+#: name -> cached_session keyword arguments (None = no caching).
 STRATEGIES = {
-    "none": (False, 0, 0.0),
-    "all-inner": (True, 1, 0.005),
-    "top-levels": (True, 2, 0.05),
+    "none": None,
+    "all-inner": {"min_cached_level": 1, "ttl_s": 0.005},
+    "top-levels": {"min_cached_level": 2, "ttl_s": 0.05},
+    "depth-2": {"depth": 2, "ttl_s": None},
 }
 
 #: (workload name, strategy name) -> (result, hit_rate, reads_per_op)
@@ -53,19 +62,15 @@ Key = Tuple[str, str]
 
 
 class _StrategyProxy:
-    def __init__(self, index, min_level: int, ttl_s: float) -> None:
+    def __init__(self, index, session_kwargs: dict) -> None:
         self._index = index
         self.design = index.design
-        self._min_level = min_level
-        self._ttl_s = ttl_s
+        self._session_kwargs = session_kwargs
         self.accessors = []
 
     def session(self, compute_server):
         session = cached_session(
-            self._index,
-            compute_server,
-            ttl_s=self._ttl_s,
-            min_cached_level=self._min_level,
+            self._index, compute_server, **self._session_kwargs
         )
         self.accessors.append(session._tree.acc)
         return session
@@ -77,11 +82,15 @@ def run(
     """Run this experiment's grid; returns the per-cell results."""
     results: Dict[Key, Tuple[RunResult, float, float]] = {}
     for spec in (workload_a(), workload_d()):
-        for name, (cached, min_level, ttl_s) in STRATEGIES.items():
+        for name, session_kwargs in STRATEGIES.items():
             dataset = generate_dataset(scale.num_keys, scale.gap)
             cluster = build_cluster(scale)
             index = build_index(cluster, "fine-grained", dataset)
-            target = _StrategyProxy(index, min_level, ttl_s) if cached else index
+            target = (
+                _StrategyProxy(index, session_kwargs)
+                if session_kwargs is not None
+                else index
+            )
             runner = WorkloadRunner(cluster, dataset)
             baseline_reads = sum(
                 server.stats.ops[Verb.READ] for server in cluster.memory_servers
@@ -102,7 +111,7 @@ def run(
             # (warm-up reads included) but identically for every strategy.
             reads_per_op = total_reads / max(1, result.total_ops)
             hit_rate = 0.0
-            if cached and target.accessors:
+            if session_kwargs is not None and target.accessors:
                 hits = sum(a.hits for a in target.accessors)
                 misses = sum(a.misses for a in target.accessors)
                 hit_rate = hits / (hits + misses) if hits + misses else 0.0

@@ -7,7 +7,12 @@ from repro.index.accessors import (
     RemoteRootRef,
 )
 from repro.index.base import DistributedIndex, IndexSession
-from repro.index.caching import CachingRemoteAccessor, cached_session
+from repro.index.caching import (
+    CachingRemoteAccessor,
+    RemoteCache,
+    attach_cache,
+    cached_session,
+)
 from repro.index.coarse_grained import CoarseGrainedIndex, CoarseGrainedSession
 from repro.index.fine_grained import FineGrainedIndex, FineGrainedSession
 from repro.index.gc import EpochGarbageCollector
@@ -28,6 +33,8 @@ __all__ = [
     "DistributedIndex",
     "IndexSession",
     "CachingRemoteAccessor",
+    "RemoteCache",
+    "attach_cache",
     "cached_session",
     "CoarseGrainedIndex",
     "CoarseGrainedSession",

@@ -293,6 +293,24 @@ class RemoteAccessor(NodeAccessor):
         yield sim.all_of(pending)
         return nodes
 
+    def read_version(self, raw_ptr: int) -> Generator[Any, Any, int]:
+        """One 8-byte READ of the node's version word (page offset 0).
+
+        This is the 1-verb revalidation primitive of the client-side node
+        cache (docs/caching.md): version words only ever grow, so a cached
+        image whose version still matches the remote word is the current
+        page content, while any mismatch — including an odd, locked word —
+        means the image must be refetched.
+        """
+        pointer = RemotePointer.from_raw(raw_ptr)
+
+        def op() -> Generator[Any, Any, bytes]:
+            qp = self.compute_server.qp(pointer.server_id)
+            return (yield from qp.read(pointer.offset, 8))
+
+        data = yield from self._failover(pointer.server_id, op)
+        return int.from_bytes(data, "little")
+
     def write_node(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
         pointer = RemotePointer.from_raw(raw_ptr)
         data = node.to_bytes(self.page_size)

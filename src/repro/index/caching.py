@@ -1,142 +1,401 @@
-"""Client-side caching of index nodes (Appendix A.4).
+"""Coherent client-side caching of index nodes (Appendix A.4).
 
 The appendix observes that compute servers can cache hot index nodes to
 save remote round trips — trivially beneficial for read-only workloads,
-hard in general because updates must invalidate cached nodes. For
-tree-based indexes specifically, *inner* nodes are safe to cache even
-without invalidation: a stale inner node still routes a traversal to a
-pre-split child, and the B-link move-right protocol recovers — at the cost
-of extra sibling hops. Leaves are never cached here (a stale leaf would
-return wrong data).
+hard in general because updates must invalidate cached nodes. This module
+implements the real design axis the appendix only sketches: a per-client
+:class:`RemoteCache` of *inner* pages with a configurable **cache depth**
+(how many of the top tree levels are cached), kept coherent through three
+complementary mechanisms rather than a blunt TTL:
 
-:class:`CachingRemoteAccessor` wraps the one-sided access path with an LRU
-cache of inner-page images plus a time-to-live that bounds staleness (the
-epoch-style invalidation the appendix sketches). Pair it with a
-fine-grained index via :func:`cached_session`.
+* **Stale routing is safe** — for pure navigation, a stale inner node
+  still routes a traversal to a pre-split child and the B-link move-right
+  protocol recovers, at the cost of extra sibling hops. Leaves are never
+  cached (a stale leaf would return wrong data).
+
+* **Epoch-driven revalidation** — every inner-node SMO (separator
+  install, inner split, root growth) bumps the index's *structure epoch*
+  in the catalog (:meth:`repro.nam.catalog.Catalog.bump_structure_epoch`).
+  A cached image filled under an older epoch is not trusted outright: the
+  client re-reads the page's 8-byte version word with one READ
+  (:meth:`RemoteAccessor.read_version`) and serves the image only if the
+  word still matches — version words only grow, so a match proves the
+  whole page is current. A mismatch drops the image and refetches.
+
+* **Version-validated writes** — the write path CASes on the version it
+  read, which self-validates; but a CAS that *fails* because the cached
+  version was stale would burn a round trip per retry forever if the
+  stale image survived. Lock attempts on cache-served versions are
+  therefore preceded by the same 1-verb header READ, and any mismatch —
+  on the pre-check or on the CAS itself — invalidates the entry so the
+  retry refetches fresh bytes.
+
+Wire-up: set :class:`repro.config.CacheConfig` ``depth > 0`` and every
+fine-grained or hybrid session caches automatically, or build an explicit
+cached session with :func:`cached_session` (the Appendix A.4 harness
+API). Counters are exported through namscope as
+``nam_cache_{hits,misses,revalidations,revalidation_misses,invalidations}_total``.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Generator, Tuple
+from typing import Any, Dict, Generator, Optional, Tuple
 
 from repro.btree.algorithm import BLinkTree
 from repro.btree.node import Node
 from repro.index.accessors import RemoteAccessor, RemoteRootRef
-from repro.index.fine_grained import FineGrainedIndex, FineGrainedSession
 from repro.nam.compute_server import ComputeServer
 
-__all__ = ["CachingRemoteAccessor", "cached_session"]
+__all__ = [
+    "RemoteCache",
+    "CachingRemoteAccessor",
+    "cached_session",
+    "attach_cache",
+]
 
 
-class CachingRemoteAccessor(RemoteAccessor):
-    """One-sided access with an LRU + TTL cache of inner pages."""
+class RemoteCache:
+    """A per-client LRU of inner-page images keyed by raw pointer.
+
+    Pure bookkeeping — it never touches the simulation. The accessor asks
+    it three questions (lookup / cacheable / store) and reports outcomes
+    back (confirm / reject / invalidate); every answer is O(1).
+
+    Exactly one caching policy is active:
+
+    * ``depth`` — cache the top *depth* tree levels, relative to the
+      highest level this client has observed (its root-level estimate,
+      maintained by :meth:`observe`); always clipped above the leaves.
+      Depth 0 disables caching entirely.
+    * ``min_level`` — the legacy absolute policy: cache every inner node
+      at this level or above (1 = all inner nodes).
+
+    ``ttl_s`` is an optional extra staleness bound kept for the Appendix
+    A.4 harness; the coherent default (None) relies purely on epoch and
+    version revalidation.
+    """
 
     def __init__(
         self,
-        compute_server: ComputeServer,
-        config,
         capacity: int = 4096,
-        ttl_s: float = 0.01,
-        min_cached_level: int = 1,
+        depth: Optional[int] = None,
+        min_level: Optional[int] = None,
+        ttl_s: Optional[float] = None,
     ) -> None:
-        super().__init__(compute_server, config)
+        if depth is not None and min_level is not None:
+            raise ValueError("choose either depth or min_level, not both")
         self.capacity = capacity
+        self.depth = depth
+        self.min_level = min_level
         self.ttl_s = ttl_s
-        #: Cache only nodes at this tree level or above. 1 caches every
-        #: inner node; higher values cache just the top of the tree —
-        #: fewer, hotter, more stable pages (upper levels change orders of
-        #: magnitude less often than the leaves' parents), one of the
-        #: tree-aware strategies Appendix A.4 calls for.
-        self.min_cached_level = max(1, min_cached_level)
-        self._cache: "OrderedDict[int, Tuple[bytes, float]]" = OrderedDict()
+        #: Highest node level this client has seen (root-level estimate).
+        self.top_level = 0
+        #: raw_ptr -> [data, level, version, epoch, stored_at]
+        self._entries: "OrderedDict[int, list]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.revalidations = 0
+        self.revalidation_failures = 0
+        self.invalidations = 0
+        self.evictions = 0
+        self.ttl_expirations = 0
 
-    # -- cache mechanics ----------------------------------------------------
-
-    def _cache_get(self, raw_ptr: int) -> bytes:
-        entry = self._cache.get(raw_ptr)
-        if entry is None:
-            return None
-        data, stored_at = entry
-        if self.compute_server.sim.now - stored_at > self.ttl_s:
-            del self._cache[raw_ptr]
-            return None
-        self._cache.move_to_end(raw_ptr)
-        return data
-
-    def _cache_put(self, raw_ptr: int, data: bytes) -> None:
-        self._cache[raw_ptr] = (data, self.compute_server.sim.now)
-        self._cache.move_to_end(raw_ptr)
-        while len(self._cache) > self.capacity:
-            self._cache.popitem(last=False)
-
-    def invalidate(self, raw_ptr: int) -> None:
-        self._cache.pop(raw_ptr, None)
+    def __len__(self) -> int:
+        return len(self._entries)
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    # -- accessor overrides ----------------------------------------------------
+    def observe(self, level: int) -> None:
+        """Track the highest level seen (depth is measured from the top)."""
+        if level > self.top_level:
+            self.top_level = level
+
+    def cacheable(self, node: Node) -> bool:
+        """Should *node* be stored? Inner, unlocked, and within policy."""
+        if self.capacity <= 0:
+            return False
+        if not node.is_inner or node.is_locked or node.level < 1:
+            return False
+        if self.min_level is not None:
+            return node.level >= self.min_level
+        if self.depth is not None and self.depth > 0:
+            return node.level > self.top_level - self.depth
+        return False
+
+    def lookup(
+        self, raw_ptr: int, epoch: int, now: float
+    ) -> Optional[Tuple[bytes, int, bool]]:
+        """``(data, version, fresh)`` for a cached page, or None on miss.
+
+        ``fresh`` is False when the index's structure epoch has moved past
+        the epoch the image was filled (or last revalidated) under — the
+        caller must then revalidate the version word before serving it.
+        TTL-expired entries (legacy policy) are evicted and count as
+        misses. Does **not** bump hit/miss counters; the accessor does,
+        once it knows the serve outcome.
+        """
+        entry = self._entries.get(raw_ptr)
+        if entry is None:
+            return None
+        if self.ttl_s is not None and now - entry[4] > self.ttl_s:
+            del self._entries[raw_ptr]
+            self.ttl_expirations += 1
+            return None
+        self._entries.move_to_end(raw_ptr)
+        return entry[0], entry[2], entry[3] >= epoch
+
+    def store(
+        self, raw_ptr: int, node: Node, data: bytes, epoch: int, now: float
+    ) -> None:
+        self._entries[raw_ptr] = [data, node.level, node.version, epoch, now]
+        self._entries.move_to_end(raw_ptr)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def confirm(self, raw_ptr: int, epoch: int, now: float) -> None:
+        """A revalidation READ matched: the image is current up to *epoch*."""
+        self.revalidations += 1
+        entry = self._entries.get(raw_ptr)
+        if entry is not None:
+            entry[3] = epoch
+            entry[4] = now
+
+    def reject(self, raw_ptr: int) -> None:
+        """A revalidation READ mismatched: drop the stale image."""
+        self.revalidations += 1
+        self.revalidation_failures += 1
+        self._entries.pop(raw_ptr, None)
+
+    def invalidate(self, raw_ptr: int) -> bool:
+        """Drop one page (writes, failed CASes); True if it was cached."""
+        if self._entries.pop(raw_ptr, None) is not None:
+            self.invalidations += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
+
+class CachingRemoteAccessor(RemoteAccessor):
+    """One-sided access through a coherent :class:`RemoteCache`.
+
+    ``epoch_source`` is a zero-arg callable returning the index's current
+    structure epoch (a catalog read — free at run time, see
+    :mod:`repro.nam.catalog`); None pins the epoch at 0, i.e. images are
+    never epoch-revalidated (the legacy TTL-only harness mode — write
+    validation still applies).
+    """
+
+    def __init__(
+        self,
+        compute_server: ComputeServer,
+        config,
+        capacity: int = 4096,
+        ttl_s: Optional[float] = None,
+        min_cached_level: Optional[int] = None,
+        depth: Optional[int] = None,
+        validate_writes: bool = True,
+        epoch_source=None,
+        cache: Optional[RemoteCache] = None,
+        batch_verbs: Optional[bool] = None,
+    ) -> None:
+        super().__init__(compute_server, config, batch_verbs=batch_verbs)
+        if cache is None:
+            if depth is None and min_cached_level is None:
+                min_cached_level = 1  # legacy default: every inner node
+            cache = RemoteCache(
+                capacity=capacity,
+                depth=depth,
+                min_level=min_cached_level,
+                ttl_s=ttl_s,
+            )
+        self.cache = cache
+        self._epoch_source = epoch_source
+        self._validate_writes = validate_writes
+        #: raw_ptr -> version of the image this client last served from
+        #: cache (cleared on fresh reads/locks): marks the versions whose
+        #: lock attempts must be revalidated before the CAS.
+        self._served_versions: Dict[int, int] = {}
+
+    # -- introspection (tests, experiment harnesses) -------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self.cache.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+    @property
+    def _cache(self) -> "OrderedDict[int, list]":
+        return self.cache._entries
+
+    def _epoch(self) -> int:
+        source = self._epoch_source
+        return source() if source is not None else 0
+
+    def invalidate(self, raw_ptr: int) -> None:
+        self._served_versions.pop(raw_ptr, None)
+        if self.cache.invalidate(raw_ptr) and self.obs is not None:
+            self.obs.cache_invalidated()
+
+    # -- accessor overrides ---------------------------------------------------
 
     def read_node(self, raw_ptr: int) -> Generator[Any, Any, Node]:
         obs = self.obs
-        cached = self._cache_get(raw_ptr)
-        if cached is not None:
-            self.hits += 1
-            if obs is not None:
-                obs.cache_hit()
-            # Only the local search cost; no network round trip.
-            yield self.compute_server.sim.timeout(self._search_cost)
-            return Node.from_bytes(cached)
-        self.misses += 1
+        sim = self.compute_server.sim
+        epoch = self._epoch()
+        found = self.cache.lookup(raw_ptr, epoch, sim.now)
+        if found is not None:
+            data, version, fresh = found
+            if not fresh:
+                # The structure epoch moved since this image was filled:
+                # re-check the page's version word with one 8-byte READ.
+                word = yield from self.read_version(raw_ptr)
+                fresh = word == version
+                if fresh:
+                    self.cache.confirm(raw_ptr, epoch, sim.now)
+                else:
+                    self.cache.reject(raw_ptr)
+                if obs is not None:
+                    obs.cache_revalidated(fresh)
+            if fresh:
+                self.cache.hits += 1
+                if obs is not None:
+                    obs.cache_hit()
+                self._served_versions[raw_ptr] = version
+                # Only the local search cost; no page round trip.
+                yield sim.timeout(self._search_cost)
+                return Node.from_bytes(data)
+        self.cache.misses += 1
         if obs is not None:
             obs.cache_miss()
+        self._served_versions.pop(raw_ptr, None)
         node = yield from super().read_node(raw_ptr)
-        if (
-            node.is_inner
-            and node.level >= self.min_cached_level
-            and not node.is_locked
-        ):
-            self._cache_put(raw_ptr, node.to_bytes(self.page_size))
+        self.cache.observe(node.level)
+        if self.cache.cacheable(node):
+            self.cache.store(
+                raw_ptr, node, node.to_bytes(self.page_size), epoch, sim.now
+            )
         return node
 
     def try_lock(self, raw_ptr: int, version: int) -> Generator[Any, Any, bool]:
-        self.invalidate(raw_ptr)
-        return (yield from super().try_lock(raw_ptr, version))
+        obs = self.obs
+        served = self._served_versions.pop(raw_ptr, None)
+        if self._validate_writes and served == version:
+            # The caller is about to CAS a version it got from our cache.
+            # A stale image would make the CAS fail — and, left cached,
+            # make every retry re-fail after re-reading the same stale
+            # bytes. Revalidate with a 1-verb header READ first and drop
+            # the image on mismatch so the retry refetches.
+            word = yield from self.read_version(raw_ptr)
+            if word != version:
+                self.cache.reject(raw_ptr)
+                if obs is not None:
+                    obs.cache_revalidated(False)
+                    obs.lock_contended()
+                return False
+            self.cache.confirm(raw_ptr, self._epoch(), self.compute_server.sim.now)
+            if obs is not None:
+                obs.cache_revalidated(True)
+        swapped = yield from super().try_lock(raw_ptr, version)
+        if swapped:
+            # We hold the lock and will bump the version on unlock; the
+            # cached pre-lock image goes stale either way.
+            self.invalidate(raw_ptr)
+        else:
+            # CAS mismatch: whatever image produced this version is stale.
+            self.invalidate(raw_ptr)
+        return swapped
 
     def unlock_write(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
         self.invalidate(raw_ptr)
         yield from super().unlock_write(raw_ptr, node)
+
+    def unlock_nochange(self, raw_ptr: int) -> Generator[Any, Any, None]:
+        self.invalidate(raw_ptr)
+        yield from super().unlock_nochange(raw_ptr)
 
     def write_node(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:
         self.invalidate(raw_ptr)
         yield from super().write_node(raw_ptr, node)
 
 
+def attach_cache(tree: BLinkTree, index, compute_server: ComputeServer) -> BLinkTree:
+    """Swap *tree*'s accessor for a caching one per the cluster's
+    :class:`~repro.config.CacheConfig`; returns the tree.
+
+    The epoch source is the index's catalog descriptor — compile-time
+    metadata, free to read at run time — so SMOs published by any writer
+    (through :attr:`BLinkTree.on_structure_change`) are visible to every
+    cached session immediately.
+    """
+    cache_cfg = index.cluster.config.cache
+    catalog = index.cluster.catalog
+    name = index.name
+    tree.acc = CachingRemoteAccessor(
+        compute_server,
+        index.cluster.config,
+        capacity=cache_cfg.capacity,
+        ttl_s=cache_cfg.ttl_s,
+        depth=cache_cfg.depth,
+        validate_writes=cache_cfg.validate_writes,
+        epoch_source=lambda: catalog.lookup(name).structure_epoch,
+        batch_verbs=index.batch_verbs,
+    )
+    return tree
+
+
 def cached_session(
-    index: FineGrainedIndex,
+    index,
     compute_server: ComputeServer,
     capacity: int = 4096,
-    ttl_s: float = 0.01,
-    min_cached_level: int = 1,
-) -> FineGrainedSession:
-    """A fine-grained session whose traversals use the inner-node cache."""
+    ttl_s: Optional[float] = 0.01,
+    min_cached_level: Optional[int] = None,
+    depth: Optional[int] = None,
+    validate_writes: bool = True,
+):
+    """A fine-grained session whose traversals use the inner-node cache.
+
+    The explicit-knob variant of the config-driven wiring (set
+    ``CacheConfig.depth > 0`` to cache every session instead). With
+    neither *depth* nor *min_cached_level* given, all inner nodes are
+    cached (the legacy Appendix A.4 harness behavior, ``ttl_s=0.01``).
+    """
     session = index.session(compute_server)
+    if depth is None and min_cached_level is None:
+        min_cached_level = 1
+    catalog = index.cluster.catalog
+    name = index.name
     accessor = CachingRemoteAccessor(
         compute_server,
         index.cluster.config,
         capacity=capacity,
         ttl_s=ttl_s,
         min_cached_level=min_cached_level,
+        depth=depth,
+        validate_writes=validate_writes,
+        epoch_source=lambda: catalog.lookup(name).structure_epoch,
+        batch_verbs=index.batch_verbs,
     )
-    session._tree = BLinkTree(
+    tree = BLinkTree(
         accessor,
         RemoteRootRef(compute_server, index.root_location),
         use_head_nodes=index.use_head_nodes,
         prefetch_window=index.cluster.config.tree.prefetch_window,
     )
+    tree.on_structure_change = lambda: catalog.bump_structure_epoch(name)
+    session._tree = tree
     return session

@@ -109,7 +109,12 @@ class FineGrainedIndex(DistributedIndex):
         return index
 
     def session(self, compute_server: ComputeServer) -> "FineGrainedSession":
-        return FineGrainedSession(self, compute_server)
+        session = FineGrainedSession(self, compute_server)
+        if self.cluster.config.cache.depth > 0:
+            from repro.index.caching import attach_cache
+
+            attach_cache(session._tree, self, compute_server)
+        return session
 
     def tree_for(self, compute_server: ComputeServer) -> BLinkTree:
         """A raw client-side tree handle (used by tests and the global GC)."""
@@ -117,12 +122,19 @@ class FineGrainedIndex(DistributedIndex):
             compute_server, self.cluster.config, batch_verbs=self.batch_verbs
         )
         root = RemoteRootRef(compute_server, self.root_location)
-        return BLinkTree(
+        tree = BLinkTree(
             accessor,
             root,
             use_head_nodes=self.use_head_nodes,
             prefetch_window=self.cluster.config.tree.prefetch_window,
         )
+        # Publish inner-node SMOs so cached sessions revalidate (free
+        # catalog bookkeeping; behaviorally invisible without a cache).
+        tree.on_structure_change = self._structure_changed
+        return tree
+
+    def _structure_changed(self) -> None:
+        self.cluster.catalog.bump_structure_epoch(self.name)
 
     def start_gc(
         self,

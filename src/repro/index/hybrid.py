@@ -76,7 +76,9 @@ def _handle_install_separator(server: MemoryServer, msg: rpc.InstallSeparatorReq
     return response, response.wire_bytes
 
 
-def _promotion_hook(name: str, roots: Dict[int, RootLocation], page_size: int):
+def _promotion_hook(
+    name: str, roots: Dict[int, RootLocation], page_size: int, catalog=None
+):
     """Re-install one partition's inner-level tree on a promoted host.
 
     Mirrors the coarse-grained hook: the adopted replica region carries the
@@ -90,12 +92,15 @@ def _promotion_hook(name: str, roots: Dict[int, RootLocation], page_size: int):
         if logical_id not in roots:
             return
         allocator = PageAllocator.adopt(region, page_size)
-        host.app[(_APP, name, logical_id)] = BLinkTree(
+        tree = BLinkTree(
             LocalAccessor(
                 host, region=region, logical_id=logical_id, allocator=allocator
             ),
             LocalRootRef(host, roots[logical_id], region=region),
         )
+        if catalog is not None:
+            tree.on_structure_change = lambda: catalog.bump_structure_epoch(name)
+        host.app[(_APP, name, logical_id)] = tree
         host.register_handler(rpc.TraverseRequest, _handle_traverse)
         host.register_handler(
             rpc.InstallSeparatorRequest, _handle_install_separator
@@ -183,9 +188,16 @@ class HybridIndex(DistributedIndex):
                 server_id, root_location.offset, result.root_raw
             )
             roots[server_id] = root_location
-            server.app[(_APP, name, server_id)] = BLinkTree(
+            tree = BLinkTree(
                 LocalAccessor(server), LocalRootRef(server, root_location)
             )
+            # The partition owner applies every inner-level SMO of its
+            # partition, so it is the one publishing structure epochs for
+            # the client-side caches (see docs/caching.md).
+            tree.on_structure_change = (
+                lambda: cluster.catalog.bump_structure_epoch(name)
+            )
+            server.app[(_APP, name, server_id)] = tree
             server.register_handler(rpc.TraverseRequest, _handle_traverse)
             server.register_handler(
                 rpc.InstallSeparatorRequest, _handle_install_separator
@@ -204,12 +216,24 @@ class HybridIndex(DistributedIndex):
         )
         if cluster.replication is not None:
             cluster.replication.register_promotion_hook(
-                _promotion_hook(name, roots, config.tree.page_size)
+                _promotion_hook(
+                    name, roots, config.tree.page_size, catalog=cluster.catalog
+                )
             )
         return index
 
     def session(self, compute_server: ComputeServer) -> "HybridSession":
-        return HybridSession(self, compute_server)
+        session = HybridSession(self, compute_server)
+        if self.cluster.config.cache.depth > 0:
+            # Uniform wiring with FG: the leaf accessor gains the cache
+            # counters and write-validation plumbing. It caches nothing in
+            # practice — hybrid clients only ever read leaves one-sided,
+            # and the cached upper levels live server-side (the CG-style
+            # partition trees *are* the cache for those levels).
+            from repro.index.caching import attach_cache
+
+            attach_cache(session._leaves, self, compute_server)
+        return session
 
     def inner_tree(self, server_id: int) -> BLinkTree:
         """The server-resident inner-level tree (tests/validation).

@@ -39,6 +39,14 @@ class IndexDescriptor:
     roots: Dict[int, RootLocation] = field(default_factory=dict)
     partitioner: Optional[object] = None
     use_head_nodes: bool = False
+    #: Monotone counter of structure modifications (splits, separator
+    #: installs, root growth) applied to this index's *inner* levels.
+    #: Client-side node caches compare the epoch an image was filled under
+    #: against the current value: images from older epochs are revalidated
+    #: (1-verb READ of the version word) instead of trusted outright. Like
+    #: every catalog field this is compile-time metadata — reading it is
+    #: free at run time (see module docstring).
+    structure_epoch: int = 0
 
 
 class Catalog:
@@ -62,6 +70,22 @@ class Catalog:
             return self._indexes[name]
         except KeyError:
             raise CatalogError(f"unknown index {name!r}") from None
+
+    def bump_structure_epoch(self, name: str) -> int:
+        """Record an inner-level SMO on index *name*; returns the new epoch.
+
+        Called by the B-link trees of writers (client-side for FG, the
+        partition owner for hybrid) right after a separator install or a
+        root swing completes. Unknown names are a :class:`CatalogError` —
+        a bump for a dropped index means a tree handle outlived its index.
+        """
+        descriptor = self.lookup(name)
+        descriptor.structure_epoch += 1
+        return descriptor.structure_epoch
+
+    def structure_epoch(self, name: str) -> int:
+        """Current structure epoch of index *name*."""
+        return self.lookup(name).structure_epoch
 
     def drop(self, name: str) -> None:
         if name not in self._indexes:

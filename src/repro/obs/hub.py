@@ -64,6 +64,11 @@ class Observability:
         self._lock_steals = reg.counter("nam_lock_steals_total")
         self._cache_hits = reg.counter("nam_cache_hits_total")
         self._cache_misses = reg.counter("nam_cache_misses_total")
+        self._cache_revalidations = reg.counter("nam_cache_revalidations_total")
+        self._cache_revalidation_misses = reg.counter(
+            "nam_cache_revalidation_misses_total"
+        )
+        self._cache_invalidations = reg.counter("nam_cache_invalidations_total")
         self._gc_sweeps = reg.counter("nam_gc_sweeps_total")
         self._gc_leaves = reg.counter("nam_gc_leaves_scanned_total")
         self._gc_removed = reg.counter("nam_gc_entries_removed_total")
@@ -244,6 +249,17 @@ class Observability:
 
     def cache_miss(self) -> None:
         self._cache_misses.inc()
+
+    def cache_revalidated(self, fresh: bool) -> None:
+        """A cached image's version word was re-read (1-verb READ);
+        ``fresh`` says whether the image survived."""
+        self._cache_revalidations.inc()
+        if not fresh:
+            self._cache_revalidation_misses.inc()
+
+    def cache_invalidated(self) -> None:
+        """A cached image was dropped (write path or failed CAS)."""
+        self._cache_invalidations.inc()
 
     def gc_sweep(self, leaves_seen: int, entries_removed: int) -> None:
         self._gc_sweeps.inc()

@@ -12,6 +12,7 @@ from repro.experiments import (
     ablation_head_nodes,
     ablation_insert_contention,
     ablation_srq,
+    ext_cache_depth,
     ext_caching_strategies,
     ext_page_size,
     ext_request_skew,
@@ -132,9 +133,30 @@ def test_ext_request_skew(capsys):
 
 def test_ext_caching_strategies(capsys):
     results = ext_caching_strategies.run(scale=TINY, num_clients=8)
-    assert len(results) == 2 * 3  # workloads x strategies
+    assert len(results) == 2 * len(
+        ext_caching_strategies.STRATEGIES
+    )  # workloads x strategies
     ext_caching_strategies.print_figure(results, num_clients=8)
     assert "caching strategies" in capsys.readouterr().out
+
+
+def test_ext_cache_depth(capsys):
+    results = ext_cache_depth.run(
+        scale=TINY, num_clients=8, write_ratios=(0.0,)
+    )
+    assert len(results) == len(ext_cache_depth.DEPTHS) * len(
+        ext_cache_depth.DISTRIBUTIONS
+    )
+    assert all(cell.sim_ops_per_s > 0 for cell in results.values())
+    payload = ext_cache_depth.results_to_json(results)
+    assert set(payload) == {"cells", "speedups"}
+    # Self-comparison: every per-cell gate is clean by construction; at
+    # this tiny scale only the absolute speedup floor may trip (the tree
+    # is too shallow to save 2x in round trips).
+    failures = ext_cache_depth.check_against_baseline(results, payload)
+    assert all("floor" in failure for failure in failures)
+    ext_cache_depth.print_figure(results)
+    assert "cache depth" in capsys.readouterr().out
 
 
 def test_ext_page_size(capsys):
