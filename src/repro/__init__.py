@@ -22,6 +22,7 @@ paper-vs-measured record of every reproduced table and figure.
 """
 
 from repro.config import (
+    AdmissionConfig,
     CacheConfig,
     ClusterConfig,
     CpuConfig,
@@ -30,11 +31,13 @@ from repro.config import (
     TreeConfig,
 )
 from repro.errors import (
+    AdmissionRejectedError,
     ConfigurationWarning,
     FailoverError,
     ReplicaDivergenceError,
     ReproError,
     RetriesExhaustedError,
+    ThrottledError,
     TimeoutError_,
 )
 from repro.index import (
@@ -60,6 +63,7 @@ from repro.reporting import ascii_chart, results_to_csv, write_csv
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionConfig",
     "CacheConfig",
     "ClusterConfig",
     "CpuConfig",
@@ -69,6 +73,8 @@ __all__ = [
     "ReproError",
     "RetriesExhaustedError",
     "TimeoutError_",
+    "AdmissionRejectedError",
+    "ThrottledError",
     "FailoverError",
     "ReplicaDivergenceError",
     "ConfigurationWarning",

@@ -8,61 +8,138 @@ Subcommands:
   to CSV;
 * ``chart <experiment> [--small]`` — run and render an ASCII chart of the
   headline series (throughput experiments only).
+
+Every experiment is declared once, in :data:`EXPERIMENTS` — the table
+drives ``list``, ``run``, ``chart``, and the ``--help`` epilog, so a new
+harness registers here and nowhere else.
 """
 
 from __future__ import annotations
 
 import argparse
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.experiments.scale import DEFAULT, SMALL
 
-EXPERIMENTS = {
-    "fig03": ("Table 2 + Figure 3 (analytical model)", "fig03_analytical"),
-    "fig07": ("Figure 7: throughput, skewed data", "fig07_08_throughput"),
-    "fig08": ("Figure 8: throughput, uniform data", "fig07_08_throughput"),
-    "fig09": ("Figure 9: network utilization", "fig09_network"),
-    "fig10": ("Figure 10: varying data size", "fig10_datasize"),
-    "fig11": ("Figure 11: varying memory servers", "fig11_servers"),
-    "fig12": ("Figure 12: workloads with inserts", "fig12_inserts"),
-    "fig13": ("Figure 13: latency, skewed data", "fig13_14_latency"),
-    "fig14": ("Figure 14: latency, uniform data", "fig13_14_latency"),
-    "fig15": ("Figure 15: co-location", "fig15_colocation"),
-    "a4": ("Appendix A.4: client-side caching", "a4_caching"),
-    "heads": ("Ablation: head-node prefetching", "ablation_head_nodes"),
-    "contention": ("Ablation: insert hotspot spinning", "ablation_insert_contention"),
-    "srq": ("Ablation: shared receive queues", "ablation_srq"),
-    "reqskew": ("Extension: Zipfian request skew", "ext_request_skew"),
-    "cachestrat": ("Extension: caching strategies", "ext_caching_strategies"),
-    "cachedepth": ("Extension: coherent cache-depth sweep", "ext_cache_depth"),
-    "pagesize": ("Extension: page-size sensitivity", "ext_page_size"),
-    "availability": ("Extension: crash availability & replication", "ext_availability"),
-}
 
-_SKEWED = {"fig07": True, "fig08": False, "fig13": True, "fig14": False}
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment harness.
+
+    *style* picks the dispatch convention:
+
+    * ``"analytical"`` — ``module.main()``; produces no result cells;
+    * ``"skewed"`` — ``module.run(skewed=..., scale=...)`` and
+      ``print_figure(results, skewed, scale)`` (the paired
+      skewed/uniform figures);
+    * ``"figure"`` — ``module.run(scale=...)`` and
+      ``print_figure(results, scale)``;
+    * ``"extension"`` — ``module.run(scale=...)`` and
+      ``print_figure(results)``; the module may carry its own
+      ``DEFAULT_SCALE``/``SMOKE`` pair (used instead of the generic
+      scales) and its cells may be experiment-specific dataclasses
+      rather than ``RunResult`` (CSV export then defers to the module's
+      own ``--json``).
+    """
+
+    key: str
+    title: str
+    module: str
+    style: str = "figure"
+    skewed: Optional[bool] = None
+    chartable: bool = False
+
+
+_TABLE = [
+    Experiment("fig03", "Table 2 + Figure 3 (analytical model)",
+               "fig03_analytical", style="analytical"),
+    Experiment("fig07", "Figure 7: throughput, skewed data",
+               "fig07_08_throughput", style="skewed", skewed=True,
+               chartable=True),
+    Experiment("fig08", "Figure 8: throughput, uniform data",
+               "fig07_08_throughput", style="skewed", skewed=False,
+               chartable=True),
+    Experiment("fig09", "Figure 9: network utilization", "fig09_network"),
+    Experiment("fig10", "Figure 10: varying data size", "fig10_datasize"),
+    Experiment("fig11", "Figure 11: varying memory servers", "fig11_servers"),
+    Experiment("fig12", "Figure 12: workloads with inserts", "fig12_inserts",
+               chartable=True),
+    Experiment("fig13", "Figure 13: latency, skewed data",
+               "fig13_14_latency", style="skewed", skewed=True),
+    Experiment("fig14", "Figure 14: latency, uniform data",
+               "fig13_14_latency", style="skewed", skewed=False),
+    Experiment("fig15", "Figure 15: co-location", "fig15_colocation"),
+    Experiment("a4", "Appendix A.4: client-side caching", "a4_caching",
+               style="extension"),
+    Experiment("heads", "Ablation: head-node prefetching",
+               "ablation_head_nodes"),
+    Experiment("contention", "Ablation: insert hotspot spinning",
+               "ablation_insert_contention", style="extension"),
+    Experiment("srq", "Ablation: shared receive queues", "ablation_srq"),
+    Experiment("reqskew", "Extension: Zipfian request skew",
+               "ext_request_skew", style="extension"),
+    Experiment("cachestrat", "Extension: caching strategies",
+               "ext_caching_strategies", style="extension"),
+    Experiment("cachedepth", "Extension: coherent cache-depth sweep",
+               "ext_cache_depth", style="extension"),
+    Experiment("pagesize", "Extension: page-size sensitivity",
+               "ext_page_size", style="extension"),
+    Experiment("availability", "Extension: crash availability & replication",
+               "ext_availability", style="extension"),
+    Experiment("batching", "Extension: doorbell-batched verb pipeline",
+               "ext_verb_batching", style="extension"),
+    Experiment("overload", "Extension: flash-crowd overload & admission",
+               "ext_overload", style="extension"),
+]
+
+EXPERIMENTS = {entry.key: entry for entry in _TABLE}
+
+
+def _experiment_table() -> str:
+    width = max(len(key) for key in EXPERIMENTS)
+    return "\n".join(
+        f"  {entry.key:<{width}}  {entry.title}"
+        f"  [repro.experiments.{entry.module}]"
+        for entry in EXPERIMENTS.values()
+    )
 
 
 def _load(name: str):
     import importlib
 
     try:
-        _title, module_name = EXPERIMENTS[name]
+        entry = EXPERIMENTS[name]
     except KeyError:
         raise SystemExit(
             f"unknown experiment {name!r}; run `python -m repro list`"
         )
-    return importlib.import_module(f"repro.experiments.{module_name}")
+    return entry, importlib.import_module(f"repro.experiments.{entry.module}")
 
 
-def _run_experiment(name: str, scale):
-    module = _load(name)
-    if name in _SKEWED:
-        results = module.run(skewed=_SKEWED[name], scale=scale)
-        module.print_figure(results, _SKEWED[name], scale)
-    elif name == "fig03":
+def _scales(module):
+    """The (default, small) scale pair for one module.
+
+    Extension harnesses that calibrate their own cluster shape publish a
+    ``DEFAULT_SCALE``/``SMOKE`` pair; everything else runs on the shared
+    grid sizes.
+    """
+    if hasattr(module, "DEFAULT_SCALE"):
+        return module.DEFAULT_SCALE, getattr(module, "SMOKE", SMALL)
+    return DEFAULT, SMALL
+
+
+def _run_experiment(name: str, small: bool):
+    entry, module = _load(name)
+    if entry.style == "analytical":
         module.main()
         return None
-    elif name in ("a4", "reqskew", "contention", "cachestrat", "cachedepth",
-                  "pagesize", "availability"):
+    default_scale, small_scale = _scales(module)
+    scale = small_scale if small else default_scale
+    if entry.style == "skewed":
+        results = module.run(skewed=entry.skewed, scale=scale)
+        module.print_figure(results, entry.skewed, scale)
+    elif entry.style == "extension":
         results = module.run(scale=scale)
         module.print_figure(results)
     else:
@@ -72,41 +149,38 @@ def _run_experiment(name: str, scale):
 
 
 def cmd_list(_args) -> None:
-    width = max(len(key) for key in EXPERIMENTS)
-    for key, (title, module_name) in EXPERIMENTS.items():
-        print(f"{key:<{width}}  {title}  [repro.experiments.{module_name}]")
+    print(_experiment_table())
 
 
 def cmd_run(args) -> None:
-    scale = SMALL if args.small else DEFAULT
-    results = _run_experiment(args.experiment, scale)
+    results = _run_experiment(args.experiment, args.small)
     if args.csv:
         if results is None:
             print("(this experiment is analytical; nothing to export)")
             return
-        if args.experiment == "cachedepth":
-            print(
-                "(cache cells are not RunResults; use `python -m "
-                "repro.experiments.ext_cache_depth --json PATH` instead)"
-            )
-            return
         from repro.reporting import write_csv
+        from repro.workloads.metrics import RunResult
 
         flat = {
             key: value[0] if isinstance(value, tuple) else value
             for key, value in results.items()
         }
+        if not all(isinstance(value, RunResult) for value in flat.values()):
+            entry = EXPERIMENTS[args.experiment]
+            print(
+                f"(these cells are not RunResults; use `python -m "
+                f"repro.experiments.{entry.module} --json PATH` instead)"
+            )
+            return
         write_csv(flat, args.csv)
         print(f"\nwrote {len(flat)} rows to {args.csv}")
 
 
 def cmd_chart(args) -> None:
     scale = SMALL if args.small else DEFAULT
-    if args.experiment not in ("fig07", "fig08", "fig12"):
-        raise SystemExit("charting supports fig07, fig08 and fig12")
-    module = _load(args.experiment)
-    if args.experiment in _SKEWED:
-        results = module.run(skewed=_SKEWED[args.experiment], scale=scale)
+    entry, module = _load(args.experiment)
+    if entry.skewed is not None:
+        results = module.run(skewed=entry.skewed, scale=scale)
     else:
         results = module.run(scale=scale)
     from repro.reporting import ascii_chart
@@ -130,9 +204,14 @@ def cmd_chart(args) -> None:
 
 
 def main(argv=None) -> None:
+    chartable = sorted(
+        entry.key for entry in EXPERIMENTS.values() if entry.chartable
+    )
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="SIGMOD'19 distributed RDMA tree-index reproduction",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="experiments:\n" + _experiment_table(),
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -146,7 +225,7 @@ def main(argv=None) -> None:
                             help="export raw cells to CSV")
 
     chart_parser = commands.add_parser("chart", help="ASCII chart of a sweep")
-    chart_parser.add_argument("experiment", choices=["fig07", "fig08", "fig12"])
+    chart_parser.add_argument("experiment", choices=chartable)
     chart_parser.add_argument("--small", action="store_true")
 
     args = parser.parse_args(argv)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.errors import ConfigurationError, ConfigurationWarning
 from repro.obs.config import ObservabilityConfig
@@ -24,6 +24,7 @@ __all__ = [
     "TreeConfig",
     "RetryConfig",
     "CacheConfig",
+    "AdmissionConfig",
     "ObservabilityConfig",
     "ClusterConfig",
 ]
@@ -276,6 +277,71 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
+class AdmissionConfig:
+    """Memory-server admission control and bulkheads (docs/overload.md).
+
+    Off by default: ``enabled=False`` keeps the RPC path byte-identical to
+    builds without the subsystem — envelopes go straight onto the unbounded
+    SRQ and no controller object is even created.
+
+    When enabled, every incoming RPC passes three gates *before* it may
+    occupy queue space or a worker:
+
+    1. **Token bucket** (per tenant): tenants named in ``tenant_rate_ops``
+       are limited to that many admitted RPCs/s per memory server, with a
+       burst allowance of ``tenant_burst_ops`` tokens. Over-rate requests
+       are rejected with :class:`~repro.errors.ThrottledError`.
+    2. **Bounded queue** (queue-based load leveling): each worker-pool
+       queue holds at most ``max_queue_depth`` waiting RPCs; arrivals
+       beyond that are rejected with
+       :class:`~repro.errors.AdmissionRejectedError` instead of growing
+       the queue — and the queueing delay — without bound.
+    3. **Bulkheads**: tenants named in ``bulkhead_workers`` get that many
+       *dedicated* worker cores and their own bounded queue; all other
+       tenants share the remaining cores. A flooding tenant can then
+       saturate only its own partition of the server.
+
+    Rejections are completed NIC-side (the receive queue bounces the
+    message) — they cost wire time but never a worker, which is what
+    keeps goodput up under a flash crowd.
+    """
+
+    enabled: bool = False
+    #: Waiting-RPC bound per worker-pool queue.
+    max_queue_depth: int = 64
+    #: Per-tenant admitted-RPC rate limit, ops/s *per memory server*
+    #: (requests fan out over servers, so a tenant's cluster-wide rate is
+    #: roughly this times the server count). Tenants not named — including
+    #: the anonymous ``None`` tenant — are not rate-limited.
+    tenant_rate_ops: Optional[Mapping[str, float]] = None
+    #: Token-bucket burst capacity (tokens), shared by all limited tenants.
+    tenant_burst_ops: float = 32.0
+    #: Dedicated worker cores per bulkheaded tenant. The sum must leave at
+    #: least one core for the shared pool (checked against
+    #: ``cpu.cores_per_server`` when the cluster is built).
+    bulkhead_workers: Optional[Mapping[str, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ConfigurationError("max_queue_depth must be >= 1")
+        if self.tenant_burst_ops < 1.0:
+            raise ConfigurationError("tenant_burst_ops must be >= 1.0")
+        if self.tenant_rate_ops is not None:
+            for tenant, rate in self.tenant_rate_ops.items():
+                if rate <= 0:
+                    raise ConfigurationError(
+                        f"tenant_rate_ops[{tenant!r}] must be > 0, got {rate}"
+                    )
+        if self.bulkhead_workers is not None:
+            for tenant, workers in self.bulkhead_workers.items():
+                if workers < 1:
+                    raise ConfigurationError(
+                        f"bulkhead_workers[{tenant!r}] must be >= 1, "
+                        f"got {workers}"
+                    )
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Topology of the simulated NAM cluster.
 
@@ -311,6 +377,11 @@ class ClusterConfig:
     #: then use the plain one-sided accessors, byte-identical to builds
     #: without the subsystem. See docs/caching.md.
     cache: CacheConfig = field(default_factory=CacheConfig)
+    #: Memory-server admission control: bounded RPC queues, per-tenant
+    #: token buckets and bulkhead worker pools. Off by default: envelopes
+    #: go straight onto the unbounded SRQ, byte-identical to builds
+    #: without the subsystem. See docs/overload.md.
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     #: Fabric-wide observability (metrics registry + span sampling). Off by
     #: default: no hub is created and every instrumentation point is a
     #: single ``is None`` test, keeping runs byte-identical to builds
@@ -335,6 +406,17 @@ class ClusterConfig:
                 f"least that many memory servers "
                 f"(have {self.num_memory_servers})"
             )
+        # Cross-field check: bulkheads carve dedicated cores out of each
+        # memory server's worker pool; at least one core must remain for
+        # the shared (non-bulkheaded) tenants.
+        if self.admission.enabled and self.admission.bulkhead_workers:
+            dedicated = sum(self.admission.bulkhead_workers.values())
+            if dedicated >= self.cpu.cores_per_server:
+                raise ConfigurationError(
+                    f"bulkhead_workers reserve {dedicated} of "
+                    f"{self.cpu.cores_per_server} cores per server; at "
+                    f"least one core must stay in the shared pool"
+                )
 
     @property
     def num_machines(self) -> int:

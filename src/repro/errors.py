@@ -12,6 +12,8 @@ __all__ = [
     "TimeoutError_",
     "RetriesExhaustedError",
     "FailoverError",
+    "AdmissionRejectedError",
+    "ThrottledError",
     "AllocationError",
     "IndexError_",
     "ReplicaDivergenceError",
@@ -60,6 +62,26 @@ class FailoverError(TimeoutError_):
     replica host is down at once). Subclasses :class:`TimeoutError_`
     because callers observe it exactly where a timeout would surface —
     after the retry budget on the dead primary is spent."""
+
+
+class AdmissionRejectedError(NetworkError):
+    """A memory server refused to enqueue an RPC.
+
+    Raised on the *client* when admission control is enabled and the
+    server's bounded receive queue (or the tenant's bulkhead queue) is
+    full. Unlike :class:`RetriesExhaustedError` the outcome is certain:
+    the request was never handed to a worker, so no remote side effect
+    happened and the caller may safely retry — ideally after backing
+    off, since the server is telling it to slow down."""
+
+
+class ThrottledError(AdmissionRejectedError):
+    """A per-tenant token-bucket rate limit rejected an RPC.
+
+    Subclass of :class:`AdmissionRejectedError` with the same no-side-
+    effect guarantee; distinguished so clients can tell "the server is
+    full" (transient, back off) from "you are over your contracted
+    rate" (persistent until the tenant sheds offered load)."""
 
 
 class AllocationError(ReproError):

@@ -35,6 +35,13 @@ __all__ = ["IndexSession", "DistributedIndex"]
 class IndexSession(abc.ABC):
     """A compute server's handle on a distributed index."""
 
+    #: Workload tenant this session issues operations for; RPC-based
+    #: designs stamp it on every request envelope so memory-server
+    #: admission control can rate-limit and bulkhead per tenant
+    #: (docs/overload.md). None — the default — is the anonymous tenant,
+    #: which is never rate-limited.
+    tenant: Any = None
+
     @abc.abstractmethod
     def lookup(self, key: int) -> Generator[Any, Any, List[int]]:
         """Point query (workload A)."""

@@ -327,7 +327,9 @@ class HybridSession(IndexSession):
     def _call(self, server_id: int, request) -> Generator[Any, Any, Any]:
         def op() -> Generator[Any, Any, Any]:
             qp = self.compute_server.qp(server_id)
-            return (yield from qp.call(request, request.wire_bytes))
+            return (
+                yield from qp.call(request, request.wire_bytes, tenant=self.tenant)
+            )
 
         if self.compute_server.fabric.replication is None:
             return (yield from op())

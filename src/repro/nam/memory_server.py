@@ -14,10 +14,11 @@ that charges its CPU time through :meth:`MemoryServer.cpu` /
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, Tuple, Type
+from typing import Any, Callable, Dict, Generator, Optional, Tuple, Type
 
 from repro.config import ClusterConfig
 from repro.errors import NetworkError
+from repro.nam.admission import SHARED_POOL, AdmissionController
 from repro.nam.allocator import PageAllocator
 from repro.nam.machine import PhysicalMachine
 from repro.nam.rpc import MUTATING_REQUESTS
@@ -51,7 +52,22 @@ class MemoryServer:
         self.config = config
         self.region = MemoryRegion(config.region_initial_bytes, config.region_max_bytes)
         self.allocator = PageAllocator(self.region, config.tree.page_size)
-        self.srq = Store(sim)
+        admission_config = config.admission
+        if admission_config.enabled:
+            # Queue-based load leveling: every worker-pool queue is bounded
+            # and the admission controller bounces overflow NIC-side.
+            self.srq = Store(sim, capacity=admission_config.max_queue_depth)
+            self._bulkhead_queues: Dict[str, Store] = {
+                tenant: Store(sim, capacity=admission_config.max_queue_depth)
+                for tenant in (admission_config.bulkhead_workers or {})
+            }
+            self.admission: Optional[AdmissionController] = AdmissionController(
+                self, admission_config
+            )
+        else:
+            self.srq = Store(sim)
+            self._bulkhead_queues = {}
+            self.admission = None
         self.stats = VerbStats()
         #: Memory accesses from the second socket cross QPI (Section 6.1).
         self.qpi_factor = config.cpu.qpi_penalty if crosses_qpi else 1.0
@@ -96,24 +112,71 @@ class MemoryServer:
 
     # -- RPC dispatch ----------------------------------------------------------
 
+    def submit(self, envelope: RpcEnvelope) -> None:
+        """Enqueue an arriving RPC envelope (the NIC-side entry point).
+
+        Without admission control this is exactly the old unbounded
+        ``srq.put`` — one extra attribute test on the hot path. With it,
+        the controller routes the envelope to its bulkhead's bounded
+        queue or bounces it with a :class:`~repro.nam.rpc.ThrottledResponse`.
+        """
+        admission = self.admission
+        if admission is None:
+            self.srq.put(envelope)
+        else:
+            admission.submit(envelope)
+
+    def rpc_queue(self, pool: str) -> Store:
+        """The worker-pool queue backing *pool* (a bulkhead tenant name or
+        :data:`~repro.nam.admission.SHARED_POOL`)."""
+        if pool == SHARED_POOL:
+            return self.srq
+        return self._bulkhead_queues[pool]
+
+    @property
+    def rpc_backlog(self) -> int:
+        """RPCs waiting across all worker-pool queues (the load-leveling
+        signal; equals ``len(self.srq)`` when no bulkheads are carved)."""
+        backlog = len(self.srq)
+        for queue in self._bulkhead_queues.values():
+            backlog += len(queue)
+        return backlog
+
     def register_handler(self, request_type: Type, handler: Handler) -> None:
         """Install *handler* for requests of *request_type* and make sure the
         worker pool is running."""
         self._handlers[request_type] = handler
         if not self._workers_started:
             self._workers_started = True
-            for _ in range(self.config.cpu.cores_per_server):
-                self.sim.process(self._worker_loop())
+            cores = self.config.cpu.cores_per_server
+            bulkheads = (
+                self.config.admission.bulkhead_workers
+                if self.admission is not None
+                else None
+            )
+            if bulkheads:
+                # Bulkhead isolation: dedicated workers drain dedicated
+                # queues; whatever cores remain form the shared pool.
+                # Config validation guarantees at least one shared core.
+                for tenant, workers in bulkheads.items():
+                    queue = self._bulkhead_queues[tenant]
+                    for _ in range(workers):
+                        self.sim.process(self._worker_loop(queue))
+                    cores -= workers
+            for _ in range(cores):
+                self.sim.process(self._worker_loop(self.srq))
 
-    def _worker_loop(self) -> Generator[Any, Any, None]:
+    def _worker_loop(self, queue: Store = None) -> Generator[Any, Any, None]:
         """One RPC worker: pop a request off the SRQ, run its handler,
         ship the response. The worker is occupied for the handler's whole
         service time — including spin waits on node locks, which is what
         degrades the two-sided designs under write contention (Figure 12).
         """
+        if queue is None:
+            queue = self.srq
         cpu_config = self.config.cpu
         while True:
-            envelope: RpcEnvelope = yield self.srq.get()
+            envelope: RpcEnvelope = yield queue.get()
             injector = self.injector
             if injector is not None:
                 if injector.server_down(self.server_id) or (
@@ -184,11 +247,11 @@ class MemoryServer:
             self._busy_time += self.sim.now - started
             obs = self.obs
             if obs is not None:
-                # Depth is the backlog left in the SRQ as this worker frees
-                # up — the queueing signal Figure 12's degradation is made
-                # of; service time spans handler + spins + mirror legs.
+                # Depth is the backlog left in this worker's queue as it
+                # frees up — the queueing signal Figure 12's degradation is
+                # made of; service time spans handler + spins + mirror legs.
                 obs.rpc_served(
-                    self.server_id, len(self.srq), self.sim.now - started
+                    self.server_id, len(queue), self.sim.now - started
                 )
 
     # -- utilization reporting ---------------------------------------------------

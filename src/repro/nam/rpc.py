@@ -26,6 +26,7 @@ __all__ = [
     "PairsResponse",
     "AckResponse",
     "PointerResponse",
+    "ThrottledResponse",
     "MUTATING_REQUESTS",
 ]
 
@@ -189,6 +190,28 @@ class PointerResponse:
     @property
     def wire_bytes(self) -> int:
         return RPC_HEADER_BYTES + 8
+
+
+@dataclass(frozen=True)
+class ThrottledResponse:
+    """Admission control bounced the request before it reached a worker.
+
+    Shipped NIC-side when a memory server's bounded queue is full or a
+    tenant's token bucket is empty (docs/overload.md); the client's queue
+    pair translates it into :class:`~repro.errors.ThrottledError` /
+    :class:`~repro.errors.AdmissionRejectedError`. The ``throttled`` marker
+    lets the rdma layer detect it without importing this module.
+    """
+
+    #: Why admission refused: ``"rate-limit"`` or ``"queue-full"``.
+    reason: str = "queue-full"
+
+    #: Class-level marker checked by :meth:`repro.rdma.qp.QueuePair.call`.
+    throttled = True
+
+    @property
+    def wire_bytes(self) -> int:
+        return RPC_HEADER_BYTES
 
 
 #: Request types whose handlers mutate index pages; under replication the

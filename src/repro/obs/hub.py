@@ -72,6 +72,12 @@ class Observability:
         self._gc_sweeps = reg.counter("nam_gc_sweeps_total")
         self._gc_leaves = reg.counter("nam_gc_leaves_scanned_total")
         self._gc_removed = reg.counter("nam_gc_entries_removed_total")
+        # Overload stack (docs/overload.md): server-side admission verdicts
+        # and client-side degradation events.
+        self._admission_handles: Dict[Any, Counter] = {}
+        self._shed_handles: Dict[Any, Counter] = {}
+        self._breaker_handles: Dict[Any, Counter] = {}
+        self._budget_handles: Dict[Any, Counter] = {}
 
     # -- correlation ---------------------------------------------------------
 
@@ -266,6 +272,61 @@ class Observability:
         self._gc_leaves.inc(leaves_seen)
         self._gc_removed.inc(entries_removed)
 
+    # -- overload stack (push) ---------------------------------------------------
+
+    def admission_accepted(self, server_id: int) -> None:
+        """Admission control let an RPC onto a worker-pool queue."""
+        key = ("accepted", server_id)
+        handle = self._admission_handles.get(key)
+        if handle is None:
+            handle = self.registry.counter(
+                "nam_admission_accepted_total", server=server_id
+            )
+            self._admission_handles[key] = handle
+        handle.inc()
+
+    def admission_rejected(self, server_id: int, reason: str) -> None:
+        """Admission control bounced an RPC (``rate-limit``/``queue-full``)."""
+        key = (reason, server_id)
+        handle = self._admission_handles.get(key)
+        if handle is None:
+            handle = self.registry.counter(
+                "nam_admission_rejected_total", server=server_id, reason=reason
+            )
+            self._admission_handles[key] = handle
+        handle.inc()
+
+    def load_shed(self, tenant: Optional[str]) -> None:
+        """A client shed an operation before issuing it (open breaker)."""
+        handle = self._shed_handles.get(tenant)
+        if handle is None:
+            handle = self.registry.counter(
+                "nam_load_shed_total", tenant=str(tenant)
+            )
+            self._shed_handles[tenant] = handle
+        handle.inc()
+
+    def breaker_transition(self, tenant: Optional[str], state: str) -> None:
+        """A client circuit breaker changed state (open/half-open/closed)."""
+        key = (tenant, state)
+        handle = self._breaker_handles.get(key)
+        if handle is None:
+            handle = self.registry.counter(
+                "nam_breaker_transitions_total", tenant=str(tenant), state=state
+            )
+            self._breaker_handles[key] = handle
+        handle.inc()
+
+    def retry_budget_exhausted(self, tenant: Optional[str]) -> None:
+        """A client skipped an application-level retry: budget empty."""
+        handle = self._budget_handles.get(tenant)
+        if handle is None:
+            handle = self.registry.counter(
+                "nam_retry_budget_exhausted_total", tenant=str(tenant)
+            )
+            self._budget_handles[tenant] = handle
+        handle.inc()
+
     # -- pull collectors ---------------------------------------------------------
 
     def register_collector(self, collect: Callable[[MetricsRegistry], None]) -> None:
@@ -288,7 +349,9 @@ class Observability:
                 tx, rx = port.traffic()
                 reg.counter("nic_tx_bytes_total", server=sid).set_total(tx)
                 reg.counter("nic_rx_bytes_total", server=sid).set_total(rx)
-                reg.gauge("nam_rpc_queue_length", server=sid).set(len(server.srq))
+                reg.gauge("nam_rpc_queue_length", server=sid).set(
+                    server.rpc_backlog
+                )
                 reg.counter("nam_rpcs_handled_total", server=sid).set_total(
                     server.rpcs_handled
                 )

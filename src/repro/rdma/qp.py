@@ -42,7 +42,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
-from repro.errors import NetworkError, RetriesExhaustedError
+from repro.errors import (
+    AdmissionRejectedError,
+    NetworkError,
+    RetriesExhaustedError,
+    ThrottledError,
+)
 from repro.rdma.fabric import Fabric
 from repro.rdma.nic import NicPort
 from repro.rdma.verbs import Verb
@@ -70,7 +75,7 @@ class RpcEnvelope:
     crash are lost with it).
     """
 
-    __slots__ = ("qp", "payload", "_reply", "seq", "epoch")
+    __slots__ = ("qp", "payload", "_reply", "seq", "epoch", "tenant")
 
     def __init__(
         self,
@@ -79,12 +84,16 @@ class RpcEnvelope:
         reply: Event,
         seq: int = 0,
         epoch: int = 0,
+        tenant: Optional[str] = None,
     ) -> None:
         self.qp = qp
         self.payload = payload
         self._reply = reply
         self.seq = seq
         self.epoch = epoch
+        #: Workload tenant that issued the call; admission control keys its
+        #: token buckets and bulkhead routing on this (None = anonymous).
+        self.tenant = tenant
 
     def complete(self, response: Any, response_wire_bytes: int) -> None:
         """Send *response* back to the caller (non-blocking for the worker)."""
@@ -128,6 +137,10 @@ class QueuePair:
         self._next_seq = 0
         self._rpc_inflight: set = set()
         self._rpc_cache: Dict[int, Tuple[Any, int]] = {}
+        #: Sequence numbers with at least one *admitted* attempt; admission
+        #: control suppresses bounces for these so an
+        #: AdmissionRejectedError always certifies "no side effect".
+        self._rpc_admitted: set = set()
 
     # -- internals -----------------------------------------------------------
 
@@ -456,18 +469,30 @@ class QueuePair:
 
     # -- two-sided RPC ---------------------------------------------------------
 
-    def call(self, request: Any, request_wire_bytes: int) -> Generator[Any, Any, Any]:
+    def call(
+        self,
+        request: Any,
+        request_wire_bytes: int,
+        tenant: Optional[str] = None,
+    ) -> Generator[Any, Any, Any]:
         """Two-sided RPC: SEND *request*, wait for the server's response.
 
         The request lands in the server's shared receive queue and is
         handled by one of its RPC workers; the response value of that
-        handler is returned here.
+        handler is returned here. *tenant* tags the envelope for admission
+        control; when the server bounces the request the marker response
+        surfaces here as :class:`~repro.errors.ThrottledError` /
+        :class:`~repro.errors.AdmissionRejectedError`.
         """
         if not self.is_local:
             self.local_port.ring_doorbell()
         injector = self.fabric.injector
         if injector is not None and not self.is_local:
-            return (yield from self._faulty_call(request, request_wire_bytes, injector))
+            return (
+                yield from self._faulty_call(
+                    request, request_wire_bytes, injector, tenant
+                )
+            )
         started_at = self.sim.now
         self.remote.stats.record(Verb.SEND, request_wire_bytes)
         reply = self.sim.event()
@@ -475,13 +500,32 @@ class QueuePair:
             yield from self.fabric.local_copy(request_wire_bytes)
         else:
             yield from self._request_leg(request_wire_bytes)
-        self.remote.srq.put(RpcEnvelope(self, request, reply))
+        self.remote.submit(RpcEnvelope(self, request, reply, tenant=tenant))
         response = yield reply
         self._trace(Verb.SEND, request_wire_bytes, started_at)
+        return self._check_admitted(response)
+
+    def _check_admitted(self, response: Any) -> Any:
+        """Translate an admission bounce into its client-side exception."""
+        if getattr(response, "throttled", False):
+            reason = response.reason
+            if reason == "rate-limit":
+                raise ThrottledError(
+                    f"memory server {self.remote.server_id} rate-limited "
+                    f"the request ({reason})"
+                )
+            raise AdmissionRejectedError(
+                f"memory server {self.remote.server_id} rejected the "
+                f"request ({reason})"
+            )
         return response
 
     def _faulty_call(
-        self, request: Any, request_wire_bytes: int, injector
+        self,
+        request: Any,
+        request_wire_bytes: int,
+        injector,
+        tenant: Optional[str] = None,
     ) -> Generator[Any, Any, Any]:
         """RPC attempt loop: at-least-once SENDs, exactly-once handling.
 
@@ -507,12 +551,16 @@ class QueuePair:
                 if delay > 0.0:
                     yield self.sim.timeout(delay)
                 epoch = injector.crash_epoch(server_id)
-                self.remote.srq.put(
-                    RpcEnvelope(self, request, reply, seq=seq, epoch=epoch)
+                self.remote.submit(
+                    RpcEnvelope(
+                        self, request, reply, seq=seq, epoch=epoch, tenant=tenant
+                    )
                 )
                 if injector.should_duplicate(Verb.SEND, server_id):
-                    self.remote.srq.put(
-                        RpcEnvelope(self, request, reply, seq=seq, epoch=epoch)
+                    self.remote.submit(
+                        RpcEnvelope(
+                            self, request, reply, seq=seq, epoch=epoch, tenant=tenant
+                        )
                     )
             yield self.sim.any_of([reply, self.sim.timeout(retry.timeout_s)])
             if not reply.triggered:
@@ -525,10 +573,12 @@ class QueuePair:
                     yield self.sim.timeout(injector.backoff_delay(attempt))
             if reply.triggered:
                 self._rpc_cache.pop(seq, None)
+                self._rpc_admitted.discard(seq)
                 self._trace(Verb.SEND, request_wire_bytes, started_at)
-                return reply.value
+                return self._check_admitted(reply.value)
         self._rpc_cache.pop(seq, None)
         self._rpc_inflight.discard(seq)
+        self._rpc_admitted.discard(seq)
         raise RetriesExhaustedError(
             f"rpc to memory server {server_id} gave up after "
             f"{retry.max_attempts} attempts"

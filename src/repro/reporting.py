@@ -41,6 +41,13 @@ _CSV_FIELDS = [
     "insert_mean_latency_s",
     "errored_ops",
     "retries",
+    # Open-loop / overload accounting (docs/overload.md). Closed-loop
+    # runs export accepted == total and zeros elsewhere.
+    "offered_ops",
+    "accepted_ops",
+    "rejected_ops",
+    "shed_ops",
+    "slo_attainment",
 ]
 
 
@@ -74,6 +81,13 @@ def _row(key, result: RunResult) -> Dict[str, object]:
         "insert_mean_latency_s": latency(OpType.INSERT),
         "errored_ops": result.errored_ops,
         "retries": result.retries,
+        "offered_ops": result.offered_ops,
+        "accepted_ops": result.accepted_ops,
+        "rejected_ops": result.rejected_ops,
+        "shed_ops": result.shed_ops,
+        "slo_attainment": (
+            "" if result.slo_attainment is None else result.slo_attainment
+        ),
     }
     if not isinstance(key, tuple):
         key = (key,)

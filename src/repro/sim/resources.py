@@ -99,24 +99,46 @@ class Resource:
 
 
 class Store:
-    """Unbounded FIFO queue between processes.
+    """FIFO queue between processes, unbounded by default.
 
     ``put`` never blocks; ``get`` returns an event that fires with the next
     item (immediately if one is queued). Items are delivered in insertion
     order and each item goes to exactly one getter.
+
+    An optional *capacity* bounds the number of queued (not yet claimed)
+    items — the primitive behind queue-based load leveling on the RPC
+    path. ``put`` on a full store raises; callers that want to reject
+    rather than crash use :meth:`try_put`.
     """
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Simulator, capacity: int = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1, got {capacity}")
         self.sim = sim
+        self.capacity = capacity
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
 
     def put(self, item: Any) -> None:
         """Enqueue *item*, waking the oldest waiting getter if any."""
+        if not self.try_put(item):
+            raise SimulationError(
+                f"put() on a full store (capacity {self.capacity})"
+            )
+
+    def try_put(self, item: Any) -> bool:
+        """Enqueue *item* if there is room; returns False on a full store.
+
+        Handing the item directly to a waiting getter never counts against
+        capacity — the queue itself stays empty.
+        """
         if self._getters:
             self._getters.popleft().succeed(item)
+        elif self.capacity is not None and len(self._items) >= self.capacity:
+            return False
         else:
             self._items.append(item)
+        return True
 
     def get(self) -> Event:
         """Event firing with the next item."""

@@ -13,8 +13,14 @@ from repro.workloads.distributions import (
     ZipfianChooser,
     make_chooser,
 )
-from repro.workloads.metrics import OpType, RunResult
-from repro.workloads.runner import WorkloadRunner
+from repro.workloads.degradation import (
+    CircuitBreaker,
+    DegradationConfig,
+    RetryBudget,
+)
+from repro.workloads.metrics import OpType, RunResult, TenantOutcome
+from repro.workloads.openloop import ArrivalProcess, OpenLoopRunner, TenantSpec
+from repro.workloads.runner import OpDrawer, WorkloadRunner
 from repro.workloads.ycsb import (
     WorkloadSpec,
     workload_a,
@@ -36,7 +42,15 @@ __all__ = [
     "make_chooser",
     "OpType",
     "RunResult",
+    "TenantOutcome",
     "WorkloadRunner",
+    "OpenLoopRunner",
+    "OpDrawer",
+    "ArrivalProcess",
+    "TenantSpec",
+    "DegradationConfig",
+    "RetryBudget",
+    "CircuitBreaker",
     "WorkloadSpec",
     "workload_a",
     "workload_b",

@@ -1,0 +1,198 @@
+"""Client-side graceful degradation: retry budgets and circuit breakers.
+
+Server-side admission control (docs/overload.md) protects the memory
+servers; this module protects everything *else* from the clients' own
+reaction to overload. Two classic failure amplifiers are addressed:
+
+* **Retry storms** — a rejected request that is immediately retried adds
+  offered load exactly when the server asked for less. A
+  :class:`RetryBudget` makes application-level retries a scarce resource:
+  successes earn fractional tokens, each retry spends one, and an empty
+  budget turns retries off until the system recovers.
+* **Goodput collapse** — when most requests bounce, even *sending* them
+  wastes wire and client time. A :class:`CircuitBreaker` watches the
+  recent outcome window and, once failures dominate, sheds load at the
+  client for a cooldown period, then probes with a few trial requests
+  (half-open) before fully closing again.
+
+Both mechanisms are deterministic: decisions depend only on the outcome
+sequence and the simulated clock, never on randomness or wall time, so
+identical seeds replay identical shed/retry schedules
+(tests/test_fault_determinism.py).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DegradationConfig", "RetryBudget", "CircuitBreaker"]
+
+
+@dataclass(frozen=True)
+class DegradationConfig:
+    """Tuning knobs for one tenant's client-side degradation stack."""
+
+    #: Retry tokens earned per successful operation (a 0.1 ratio allows
+    #: roughly one retry per ten successes, the classic retry-budget rule).
+    retry_budget_ratio: float = 0.1
+    #: Tokens granted up front so cold starts may retry at all.
+    retry_budget_initial: float = 4.0
+    #: Token cap — long good periods must not bank unlimited retries.
+    retry_budget_max: float = 32.0
+    #: Outcomes remembered by the breaker's rolling window.
+    breaker_window: int = 32
+    #: Minimum outcomes in the window before the breaker may trip.
+    breaker_min_samples: int = 16
+    #: Failure fraction in the window that trips the breaker open.
+    breaker_threshold: float = 0.5
+    #: Simulated seconds the breaker stays open before probing.
+    breaker_cooldown_s: float = 2e-3
+    #: Trial operations allowed through while half-open; one failure
+    #: re-opens, all successes close.
+    breaker_probes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.retry_budget_ratio < 0:
+            raise ConfigurationError("retry_budget_ratio must be >= 0")
+        if self.retry_budget_initial < 0:
+            raise ConfigurationError("retry_budget_initial must be >= 0")
+        if self.retry_budget_max < self.retry_budget_initial:
+            raise ConfigurationError(
+                "retry_budget_max must be >= retry_budget_initial"
+            )
+        if self.breaker_window < 1:
+            raise ConfigurationError("breaker_window must be >= 1")
+        if not 1 <= self.breaker_min_samples <= self.breaker_window:
+            raise ConfigurationError(
+                "breaker_min_samples must be in [1, breaker_window]"
+            )
+        if not 0.0 < self.breaker_threshold <= 1.0:
+            raise ConfigurationError("breaker_threshold must be in (0, 1]")
+        if self.breaker_cooldown_s <= 0:
+            raise ConfigurationError("breaker_cooldown_s must be > 0")
+        if self.breaker_probes < 1:
+            raise ConfigurationError("breaker_probes must be >= 1")
+
+
+class RetryBudget:
+    """Token bucket over *retries*: successes deposit, retries withdraw.
+
+    Unlike the server-side admission bucket this refills from outcomes,
+    not time — a client that is making no progress earns no right to
+    retry, which is exactly what stops a retry storm from sustaining
+    itself.
+    """
+
+    def __init__(self, config: DegradationConfig) -> None:
+        self.config = config
+        self.tokens = config.retry_budget_initial
+        #: Retries denied because the budget was empty.
+        self.exhausted = 0
+        #: Retries granted.
+        self.spent = 0
+
+    def on_success(self) -> None:
+        """A first-try (or retried) operation completed: earn credit."""
+        self.tokens = min(
+            self.config.retry_budget_max,
+            self.tokens + self.config.retry_budget_ratio,
+        )
+
+    def try_spend(self) -> bool:
+        """Withdraw one retry token; False (and counted) when broke."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.exhausted += 1
+        return False
+
+
+class CircuitBreaker:
+    """Rolling-window circuit breaker (closed → open → half-open → closed).
+
+    *now_fn* supplies the simulated clock; *on_transition(state)* fires on
+    every state change so callers can mirror transitions into namscope
+    (``nam_breaker_transitions_total``).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        config: DegradationConfig,
+        now_fn: Callable[[], float],
+        on_transition: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.config = config
+        self.now_fn = now_fn
+        self.on_transition = on_transition
+        self.state = self.CLOSED
+        self._window: Deque[bool] = deque(maxlen=config.breaker_window)
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        #: Lifetime transition counts, for tests and reporting.
+        self.times_opened = 0
+        self.times_closed = 0
+
+    def _transition(self, state: str) -> None:
+        self.state = state
+        if self.on_transition is not None:
+            self.on_transition(state)
+
+    def _open(self) -> None:
+        self._opened_at = self.now_fn()
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self.times_opened += 1
+        self._transition(self.OPEN)
+
+    def allow(self) -> bool:
+        """May the caller issue an operation right now?
+
+        While open, arrivals are shed until the cooldown elapses; the
+        breaker then goes half-open and admits ``breaker_probes`` trial
+        operations whose outcomes decide between closing and re-opening.
+        """
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self.now_fn() - self._opened_at < self.config.breaker_cooldown_s:
+                return False
+            self._transition(self.HALF_OPEN)
+        # Half-open: admit up to breaker_probes concurrent trials.
+        if self._probes_in_flight < self.config.breaker_probes:
+            self._probes_in_flight += 1
+            return True
+        return False
+
+    def record(self, success: bool) -> None:
+        """Feed one operation outcome back into the breaker."""
+        if self.state == self.HALF_OPEN:
+            if not success:
+                # A failed probe: the dependency is still sick.
+                self._window.append(False)
+                self._open()
+                return
+            self._probe_successes += 1
+            if self._probe_successes >= self.config.breaker_probes:
+                self._window.clear()
+                self.times_closed += 1
+                self._transition(self.CLOSED)
+            return
+        self._window.append(success)
+        if self.state != self.CLOSED:
+            return
+        window = self._window
+        if len(window) < self.config.breaker_min_samples:
+            return
+        failures = sum(1 for ok in window if not ok)
+        if failures / len(window) >= self.config.breaker_threshold:
+            self._open()

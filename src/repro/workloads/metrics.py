@@ -7,7 +7,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["OpType", "RunResult"]
+__all__ = ["OpType", "RunResult", "TenantOutcome"]
 
 
 class OpType:
@@ -22,6 +22,53 @@ class OpType:
     #: :attr:`RunResult.errors`, never in throughput or latency figures.
     ERROR = "error"
     ALL = (POINT, RANGE, INSERT, DELETE)
+
+
+@dataclass
+class TenantOutcome:
+    """One tenant's view of an open-loop run's measurement window.
+
+    Produced by :class:`~repro.workloads.openloop.OpenLoopRunner`; keyed
+    by tenant name in :attr:`RunResult.tenants`. "Accepted" means the
+    operation completed successfully inside the window; offered arrivals
+    that were still in flight at the window edge count in ``offered``
+    only.
+    """
+
+    tenant: str
+    #: Arrivals the generator produced inside the window (open loop: this
+    #: is independent of what the system managed to serve).
+    offered: int = 0
+    #: Operations that completed successfully inside the window.
+    accepted: int = 0
+    #: Operations the servers bounced (admission control / rate limit).
+    rejected: int = 0
+    #: Arrivals shed client-side before issuing (open circuit breaker).
+    shed: int = 0
+    #: Operations that surfaced a typed fault (timeouts, failovers).
+    errored: int = 0
+    #: Latencies (seconds) of the accepted operations.
+    latencies: List[float] = field(default_factory=list)
+    #: This tenant's p99 latency target; None = no SLO contract.
+    slo_p99_s: Optional[float] = None
+
+    def latency_percentile(self, percentile: float) -> float:
+        if not self.latencies:
+            return float("nan")
+        return float(np.percentile(self.latencies, percentile))
+
+    @property
+    def p99_s(self) -> float:
+        return self.latency_percentile(99)
+
+    @property
+    def slo_attainment(self) -> Optional[float]:
+        """Fraction of accepted operations meeting the p99 target; the SLO
+        holds when this is >= 0.99. None without a target or samples."""
+        if self.slo_p99_s is None or not self.latencies:
+            return None
+        met = sum(1 for lat in self.latencies if lat <= self.slo_p99_s)
+        return met / len(self.latencies)
 
 
 @dataclass
@@ -58,10 +105,43 @@ class RunResult:
     #: straight from :meth:`repro.obs.hub.Observability.snapshot`. None
     #: unless the cluster was built with observability enabled.
     observability: Optional[Dict[str, Any]] = None
+    #: Open-loop accounting (docs/overload.md). All zero/empty for
+    #: closed-loop runs, where offered load equals completed load by
+    #: construction. ``offered_ops`` counts generator arrivals inside the
+    #: window; ``rejected_ops`` server-side admission bounces;
+    #: ``shed_ops`` arrivals dropped client-side by an open breaker.
+    offered_ops: int = 0
+    rejected_ops: int = 0
+    shed_ops: int = 0
+    #: Per-tenant outcomes of an open-loop run, keyed by tenant name.
+    tenants: Dict[str, TenantOutcome] = field(default_factory=dict)
 
     @property
     def total_ops(self) -> int:
         return sum(self.op_counts.values())
+
+    @property
+    def accepted_ops(self) -> int:
+        """Operations completed inside the window — the goodput numerator.
+        Alias of :attr:`total_ops` under the open-loop vocabulary."""
+        return self.total_ops
+
+    @property
+    def slo_attainment(self) -> Optional[float]:
+        """Worst per-tenant SLO attainment (the binding tenant), or None
+        when no tenant carries a latency target."""
+        attainments = [
+            outcome.slo_attainment
+            for outcome in self.tenants.values()
+            if outcome.slo_attainment is not None
+        ]
+        return min(attainments) if attainments else None
+
+    @property
+    def goodput(self) -> float:
+        """Successfully served operations per second (= throughput; named
+        for the overload experiments where offered >> served)."""
+        return self.throughput
 
     @property
     def errored_ops(self) -> int:

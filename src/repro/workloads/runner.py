@@ -17,7 +17,7 @@ from typing import Any, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError, TimeoutError_
+from repro.errors import AdmissionRejectedError, ConfigurationError, TimeoutError_
 from repro.index.base import DistributedIndex
 from repro.nam.cluster import Cluster
 from repro.workloads.datagen import Dataset
@@ -25,7 +25,7 @@ from repro.workloads.distributions import make_chooser
 from repro.workloads.metrics import OpType, RunResult
 from repro.workloads.ycsb import WorkloadSpec
 
-__all__ = ["WorkloadRunner"]
+__all__ = ["WorkloadRunner", "OpDrawer"]
 
 
 class _ClientState:
@@ -38,6 +38,66 @@ class _ClientState:
         self.records: List[Tuple[str, float, float]] = []
         # Shared sequence for "append" inserts (YCSB-style key counter).
         self.append_seq = 0
+
+
+class OpDrawer:
+    """Draws one client's operation stream from a :class:`WorkloadSpec`.
+
+    All randomness (the op-mix draw, key choices, uniform insert keys) is
+    consumed at :meth:`next_op` time, in a fixed order, so the closed-loop
+    and open-loop runners produce identical per-client draw sequences for
+    identical seeds. ``next_op`` returns ``(op_type, op)`` where *op* is a
+    ``session -> generator`` thunk; executing it later (even concurrently
+    with other in-flight ops) touches no more RNG state.
+
+    *append_state* is any object with an ``append_seq`` attribute shared
+    by every client of the run — the YCSB-style monotone key counter for
+    ``insert_pattern="append"`` workloads.
+    """
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        dataset: Dataset,
+        rng: np.random.Generator,
+        append_state: Any,
+        client_id: int,
+    ) -> None:
+        self.spec = spec
+        self.dataset = dataset
+        self.rng = rng
+        self.append_state = append_state
+        self.client_id = client_id
+        self.chooser = make_chooser(
+            spec.distribution, dataset.num_keys, rng, spec.zipf_theta
+        )
+        self.range_span = max(1, int(spec.selectivity * dataset.key_space))
+        self.insert_seq = 0
+
+    def next_op(self) -> Tuple[str, Any]:
+        spec = self.spec
+        dataset = self.dataset
+        rng = self.rng
+        draw = rng.random()
+        if draw < spec.point_fraction:
+            key = dataset.key_at(self.chooser.next_index())
+            return OpType.POINT, lambda session: session.lookup(key)
+        if draw < spec.point_fraction + spec.range_fraction:
+            low = dataset.key_at(self.chooser.next_index())
+            high = low + self.range_span
+            return OpType.RANGE, lambda session: session.range_scan(low, high)
+        if draw < (spec.point_fraction + spec.range_fraction
+                   + spec.delete_fraction):
+            key = dataset.key_at(self.chooser.next_index())
+            return OpType.DELETE, lambda session: session.delete(key)
+        if spec.insert_pattern == "append":
+            key = dataset.key_space + self.append_state.append_seq
+            self.append_state.append_seq += 1
+        else:
+            key = int(rng.integers(0, dataset.key_space))
+        value = self.client_id * 1_000_000 + self.insert_seq
+        self.insert_seq += 1
+        return OpType.INSERT, lambda session: session.insert(key, value)
 
 
 class WorkloadRunner:
@@ -180,49 +240,24 @@ class WorkloadRunner:
         rng: np.random.Generator,
         state: _ClientState,
     ) -> Generator[Any, Any, None]:
-        dataset = self.dataset
-        chooser = make_chooser(
-            spec.distribution, dataset.num_keys, rng, spec.zipf_theta
-        )
-        range_span = max(1, int(spec.selectivity * dataset.key_space))
-        insert_seq = 0
+        drawer = OpDrawer(spec, self.dataset, rng, state, client_id)
         sim = self.cluster.sim
         obs = self.cluster.obs
         while not state.stop:
-            draw = rng.random()
+            op_kind, op = drawer.next_op()
             start = sim.now
             # The op's final classification is only known after the fact
             # (it may come back as a typed error), so the span is opened
             # under a placeholder and renamed at end_op.
             span = obs.begin_op("op", client_id) if obs is not None else None
             try:
-                if draw < spec.point_fraction:
-                    key = dataset.key_at(chooser.next_index())
-                    yield from session.lookup(key)
-                    op_type = OpType.POINT
-                elif draw < spec.point_fraction + spec.range_fraction:
-                    low = dataset.key_at(chooser.next_index())
-                    yield from session.range_scan(low, low + range_span)
-                    op_type = OpType.RANGE
-                elif draw < (spec.point_fraction + spec.range_fraction
-                             + spec.delete_fraction):
-                    key = dataset.key_at(chooser.next_index())
-                    yield from session.delete(key)
-                    op_type = OpType.DELETE
-                else:
-                    if spec.insert_pattern == "append":
-                        key = dataset.key_space + state.append_seq
-                        state.append_seq += 1
-                    else:
-                        key = int(rng.integers(0, dataset.key_space))
-                    value = client_id * 1_000_000 + insert_seq
-                    insert_seq += 1
-                    yield from session.insert(key, value)
-                    op_type = OpType.INSERT
-            except TimeoutError_ as exc:
+                yield from op(session)
+                op_type = op_kind
+            except (TimeoutError_, AdmissionRejectedError) as exc:
                 # Under injected faults an operation may exhaust its retry
-                # budget. The client records the typed failure and moves on
-                # — the closed loop survives, mirroring an application that
+                # budget; under admission control the server may bounce it.
+                # The client records the typed failure and moves on — the
+                # closed loop survives, mirroring an application that
                 # handles the error and continues.
                 op_type = f"{OpType.ERROR}:{type(exc).__name__}"
             if span is not None:

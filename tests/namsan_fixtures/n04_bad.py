@@ -14,3 +14,10 @@ def fail_with_custom_type(code):
 
 def exit_from_library_code():
     raise SystemExit(3)
+
+
+def throttle_with_unregistered_type(tenant):
+    class ThrottleStorm(Exception):
+        """An admission rejection invented outside repro.errors."""
+
+    raise ThrottleStorm(f"tenant {tenant} over limit")

@@ -19,3 +19,11 @@ def protocol_failure(ptr):
 
 def reraise_caught(exc):
     raise exc
+
+
+def bounce_rpc(tenant, rate_limited):
+    from repro.errors import AdmissionRejectedError, ThrottledError
+
+    if rate_limited:
+        raise ThrottledError(f"tenant {tenant} over its token bucket")
+    raise AdmissionRejectedError("rpc queue full")

@@ -10,14 +10,25 @@ failures debuggable: any failing schedule can be replayed exactly.
 from __future__ import annotations
 
 from repro import (
+    AdmissionConfig,
     Cluster,
     ClusterConfig,
+    CoarseGrainedIndex,
     FaultPlan,
     FineGrainedIndex,
     ServerCrash,
     VerbTracer,
 )
-from repro.workloads import WorkloadRunner, WorkloadSpec, generate_dataset
+from repro.config import CpuConfig, ObservabilityConfig
+from repro.workloads import (
+    ArrivalProcess,
+    DegradationConfig,
+    OpenLoopRunner,
+    TenantSpec,
+    WorkloadRunner,
+    WorkloadSpec,
+    generate_dataset,
+)
 
 SPEC = WorkloadSpec(
     name="det-mix",
@@ -80,6 +91,98 @@ def test_same_schedule_replays_byte_identically():
     # test silently degenerating into a happy-path comparison).
     assert "('drops', 0)" not in first
     assert "('server_crashes', 1)" in first
+
+
+#: Metric families that record the client-side degradation schedule.
+_DEGRADATION_METRICS = (
+    "nam_load_shed_total",
+    "nam_breaker_transitions_total",
+    "nam_retry_budget_exhausted_total",
+    "nam_admission_rejected_total",
+    "nam_verb_retries_total",
+)
+
+OPEN_LOOP_PLAN = FaultPlan(
+    seed=53,
+    drop_probability=0.04,
+    delay_probability=0.06,
+    delay_s=20e-6,
+    duplicate_probability=0.02,
+)
+
+
+def _open_loop_chaos_run():
+    """One open-loop run exercising every degradation path — verb-layer
+    retries (dropped messages), budgeted application-level retries with
+    linear backoff (admission rejections), retry-budget exhaustion, and
+    circuit-breaker shed windows — serialized to a string."""
+    cluster = Cluster(
+        ClusterConfig(
+            num_memory_servers=2,
+            memory_servers_per_machine=1,
+            seed=31,
+            cpu=CpuConfig(cores_per_server=2),
+            admission=AdmissionConfig(
+                enabled=True,
+                max_queue_depth=8,
+                tenant_rate_ops={"greedy": 20_000.0},
+                tenant_burst_ops=4.0,
+            ),
+            observability=ObservabilityConfig(enabled=True),
+        )
+    )
+    dataset = generate_dataset(400, gap=4)
+    index = CoarseGrainedIndex.build(cluster, "idx", dataset.pairs())
+    injector = cluster.attach_faults(OPEN_LOOP_PLAN)
+    runner = OpenLoopRunner(cluster, dataset)
+    tenants = [
+        TenantSpec(
+            name="greedy",
+            workload=WorkloadSpec(name="reads", point_fraction=1.0),
+            arrivals=ArrivalProcess(rate_ops_per_s=400_000.0),
+            degradation=DegradationConfig(
+                retry_budget_initial=2.0,
+                retry_budget_max=4.0,
+                breaker_cooldown_s=0.5e-3,
+            ),
+            max_op_retries=2,
+            sessions=8,
+        ),
+    ]
+    result = runner.run(
+        index, tenants, warmup_s=0.0005, measure_s=0.004, seed=41, drain=True
+    )
+    injector.quiesce()
+    lines = [repr(sorted(injector.stats.items()))]
+    for name, outcome in sorted(result.tenants.items()):
+        lines.append(
+            f"{name}: off={outcome.offered} acc={outcome.accepted} "
+            f"rej={outcome.rejected} shed={outcome.shed} "
+            f"err={outcome.errored} "
+            + ",".join(f"{lat:.12e}" for lat in outcome.latencies)
+        )
+    lines.append(repr(sorted(result.errors.items())))
+    lines.append(f"retries={result.retries}")
+    for metric in result.observability["metrics"]:
+        if metric["name"] in _DEGRADATION_METRICS:
+            lines.append(repr(sorted(metric.items())))
+    lines.append(f"final_now={cluster.now:.12e}")
+    return "\n".join(lines)
+
+
+def test_open_loop_degradation_replays_byte_identically():
+    """Identical seeds + FaultPlan give byte-identical retry/backoff
+    schedules through the retry-budget and circuit-breaker paths."""
+    first = _open_loop_chaos_run()
+    second = _open_loop_chaos_run()
+    assert first.encode() == second.encode()
+    # Every degradation path actually fired (the fingerprint would still
+    # match trivially if the run degenerated into a happy path).
+    assert "('drops', 0)" not in first
+    assert "rej=0" not in first  # budgeted backoff retries then rejection
+    assert "shed=0" not in first  # the breaker opened and shed arrivals
+    assert "nam_breaker_transitions_total" in first
+    assert "retries=0" not in first  # verb-layer retries under drops
 
 
 def test_different_plan_seed_diverges():

@@ -25,7 +25,7 @@ CASES = {
     "N01": ("src/repro/sim", 4),
     "N02": ("src/repro/btree", 3),
     "N03": ("src/repro/index", 3),
-    "N04": ("src/repro/nam", 3),
+    "N04": ("src/repro/nam", 4),
     "N05": ("src/repro/nam", 3),
     "N06": ("src/repro/obs", 3),
 }

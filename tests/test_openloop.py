@@ -1,0 +1,375 @@
+"""Open-loop arrivals and client-side graceful degradation.
+
+Covers the arrival-rate curves (burst window, diurnal sinusoid, thinning
+envelope), the retry budget and circuit breaker state machines in
+isolation, and the :class:`~repro.workloads.openloop.OpenLoopRunner`
+end to end — determinism, offered/accepted/rejected/shed accounting,
+SLO attainment, and breaker-driven load shedding under a hostile
+admission policy.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    AdmissionConfig,
+    Cluster,
+    ClusterConfig,
+    CoarseGrainedIndex,
+)
+from repro.config import CpuConfig, ObservabilityConfig
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    ArrivalProcess,
+    CircuitBreaker,
+    DegradationConfig,
+    OpenLoopRunner,
+    RetryBudget,
+    TenantSpec,
+    WorkloadSpec,
+    generate_dataset,
+)
+
+READS = WorkloadSpec(name="reads", point_fraction=1.0)
+
+
+class TestArrivalProcess:
+    def test_steady_rate_everywhere(self):
+        arrivals = ArrivalProcess(rate_ops_per_s=1000.0)
+        assert arrivals.rate_at(0.0) == 1000.0
+        assert arrivals.rate_at(123.4) == 1000.0
+        assert arrivals.peak_rate == 1000.0
+
+    def test_burst_window_is_half_open(self):
+        arrivals = ArrivalProcess(
+            rate_ops_per_s=100.0,
+            burst_multiplier=5.0,
+            burst_start_s=1.0,
+            burst_duration_s=2.0,
+        )
+        assert arrivals.rate_at(0.999) == 100.0
+        assert arrivals.rate_at(1.0) == 500.0
+        assert arrivals.rate_at(2.999) == 500.0
+        assert arrivals.rate_at(3.0) == 100.0
+        assert arrivals.peak_rate == 500.0
+
+    def test_diurnal_sinusoid(self):
+        arrivals = ArrivalProcess(
+            rate_ops_per_s=100.0, diurnal_amplitude=0.5, diurnal_period_s=4.0
+        )
+        assert arrivals.rate_at(1.0) == pytest.approx(150.0)
+        assert arrivals.rate_at(3.0) == pytest.approx(50.0)
+        assert arrivals.peak_rate == pytest.approx(150.0)
+        # The thinning envelope really does dominate the whole curve.
+        peak = arrivals.peak_rate
+        assert all(
+            arrivals.rate_at(t / 10.0) <= peak + 1e-9 for t in range(100)
+        )
+
+    def test_burst_and_diurnal_compose(self):
+        arrivals = ArrivalProcess(
+            rate_ops_per_s=100.0,
+            burst_multiplier=3.0,
+            burst_start_s=0.0,
+            burst_duration_s=10.0,
+            diurnal_amplitude=0.2,
+            diurnal_period_s=4.0,
+        )
+        expected = 100.0 * 3.0 * (1.0 + 0.2 * math.sin(2 * math.pi / 4.0))
+        assert arrivals.rate_at(1.0) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ArrivalProcess(rate_ops_per_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ArrivalProcess(rate_ops_per_s=1.0, burst_multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            ArrivalProcess(rate_ops_per_s=1.0, diurnal_amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            ArrivalProcess(rate_ops_per_s=1.0, diurnal_amplitude=0.1)
+        with pytest.raises(ConfigurationError):
+            TenantSpec(name="", workload=READS,
+                       arrivals=ArrivalProcess(rate_ops_per_s=1.0))
+
+
+class TestRetryBudget:
+    def test_spend_until_exhausted(self):
+        budget = RetryBudget(
+            DegradationConfig(retry_budget_initial=2.0, retry_budget_ratio=0.1)
+        )
+        assert budget.try_spend() and budget.try_spend()
+        assert not budget.try_spend()
+        assert budget.exhausted == 1
+        assert budget.spent == 2
+
+    def test_successes_earn_fractional_tokens(self):
+        budget = RetryBudget(
+            DegradationConfig(
+                retry_budget_initial=0.0,
+                retry_budget_ratio=0.5,
+                retry_budget_max=1.0,
+            )
+        )
+        assert not budget.try_spend()
+        budget.on_success()
+        assert not budget.try_spend()  # 0.5 < 1 token
+        budget.on_success()
+        assert budget.try_spend()  # capped at max=1.0, spendable
+        assert not budget.try_spend()
+
+
+def _breaker(now, **kwargs):
+    defaults = dict(
+        breaker_window=8,
+        breaker_min_samples=4,
+        breaker_threshold=0.5,
+        breaker_cooldown_s=1.0,
+        breaker_probes=2,
+    )
+    defaults.update(kwargs)
+    transitions = []
+    breaker = CircuitBreaker(
+        DegradationConfig(**defaults), now, transitions.append
+    )
+    return breaker, transitions
+
+
+class TestCircuitBreaker:
+    def test_trips_only_past_threshold_with_min_samples(self):
+        clock = [0.0]
+        breaker, transitions = _breaker(lambda: clock[0])
+        breaker.record(False)
+        breaker.record(False)
+        assert breaker.allow()  # 2 failures < min_samples: still closed
+        breaker.record(True)
+        breaker.record(False)  # 3/4 failed >= 50%
+        assert not breaker.allow()
+        assert transitions == ["open"]
+        assert breaker.times_opened == 1
+
+    def test_open_sheds_until_cooldown_then_probes(self):
+        clock = [0.0]
+        breaker, transitions = _breaker(lambda: clock[0])
+        for _ in range(4):
+            breaker.record(False)
+        assert not breaker.allow()
+        clock[0] = 1.5  # past the 1s cooldown: half-open, probes allowed
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # only breaker_probes=2 trial requests
+        assert "half-open" in transitions
+
+    def test_half_open_success_closes(self):
+        clock = [0.0]
+        breaker, transitions = _breaker(lambda: clock[0])
+        for _ in range(4):
+            breaker.record(False)
+        clock[0] = 2.0
+        assert breaker.allow() and breaker.allow()
+        breaker.record(True)
+        breaker.record(True)
+        assert breaker.allow()
+        assert transitions == ["open", "half-open", "closed"]
+        assert breaker.times_closed == 1
+        # The failure window was cleared: one new failure can't re-trip.
+        breaker.record(False)
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens(self):
+        clock = [0.0]
+        breaker, transitions = _breaker(lambda: clock[0])
+        for _ in range(4):
+            breaker.record(False)
+        clock[0] = 2.0
+        assert breaker.allow()
+        breaker.record(False)
+        assert not breaker.allow()
+        assert transitions == ["open", "half-open", "open"]
+        # The cooldown restarts from the re-open.
+        clock[0] = 2.5
+        assert not breaker.allow()
+        clock[0] = 3.5
+        assert breaker.allow()
+
+
+def _open_loop_run(seed=3, admission=None, tenants=None, drain=True):
+    cluster = Cluster(
+        ClusterConfig(
+            num_memory_servers=2,
+            memory_servers_per_machine=1,
+            seed=17,
+            cpu=CpuConfig(cores_per_server=2),
+            admission=admission or AdmissionConfig(),
+            observability=ObservabilityConfig(enabled=True),
+        )
+    )
+    dataset = generate_dataset(2000, gap=4)
+    index = CoarseGrainedIndex.build(cluster, "idx", dataset.pairs())
+    runner = OpenLoopRunner(cluster, dataset)
+    if tenants is None:
+        tenants = [
+            TenantSpec(
+                name="a",
+                workload=READS,
+                arrivals=ArrivalProcess(rate_ops_per_s=120_000.0),
+                slo_p99_s=200e-6,
+                sessions=4,
+            ),
+            TenantSpec(
+                name="b",
+                workload=WorkloadSpec(
+                    name="mixed", point_fraction=0.9, insert_fraction=0.1
+                ),
+                arrivals=ArrivalProcess(
+                    rate_ops_per_s=60_000.0,
+                    burst_multiplier=4.0,
+                    burst_start_s=0.002,
+                    burst_duration_s=0.002,
+                ),
+                sessions=4,
+            ),
+        ]
+    result = runner.run(
+        index, tenants, warmup_s=0.001, measure_s=0.004, seed=seed,
+        drain=drain,
+    )
+    return cluster, result
+
+
+def _fingerprint(result):
+    lines = [
+        repr(sorted(result.op_counts.items())),
+        repr(sorted(result.errors.items())),
+        f"offered={result.offered_ops} rejected={result.rejected_ops} "
+        f"shed={result.shed_ops}",
+    ]
+    for name, outcome in sorted(result.tenants.items()):
+        lines.append(
+            f"{name}: off={outcome.offered} acc={outcome.accepted} "
+            f"rej={outcome.rejected} shed={outcome.shed} "
+            f"err={outcome.errored} "
+            + ",".join(f"{lat:.12e}" for lat in outcome.latencies)
+        )
+    return "\n".join(lines)
+
+
+class TestOpenLoopRunner:
+    def test_identical_seeds_replay_identically(self):
+        _cluster, first = _open_loop_run(seed=3)
+        _cluster, second = _open_loop_run(seed=3)
+        assert _fingerprint(first).encode() == _fingerprint(second).encode()
+
+    def test_different_seeds_diverge(self):
+        _cluster, first = _open_loop_run(seed=3)
+        _cluster, second = _open_loop_run(seed=4)
+        assert _fingerprint(first) != _fingerprint(second)
+
+    def test_accounting_and_slo(self):
+        _cluster, result = _open_loop_run()
+        assert result.offered_ops > 0
+        assert set(result.tenants) == {"a", "b"}
+        for outcome in result.tenants.values():
+            assert outcome.offered > 0
+            assert outcome.accepted > 0
+            # No admission policy, no degradation: nothing is bounced.
+            assert outcome.rejected == 0 and outcome.shed == 0
+        a = result.tenants["a"]
+        assert a.slo_p99_s == 200e-6
+        assert a.slo_attainment is not None
+        assert result.slo_attainment == a.slo_attainment
+        assert result.tenants["b"].slo_attainment is None
+        # The burst tenant offered more than its base rate alone would.
+        assert result.tenants["b"].offered > 0
+        assert result.accepted_ops == result.total_ops
+        assert result.goodput == result.throughput
+
+    def test_open_loop_offers_more_than_a_saturated_server_completes(self):
+        tenants = [
+            TenantSpec(
+                name="hot",
+                workload=READS,
+                # Far past the 2x2-core service capacity: the generator
+                # must not slow down just because server queues grow.
+                arrivals=ArrivalProcess(rate_ops_per_s=4_000_000.0),
+                sessions=8,
+            )
+        ]
+        _cluster, result = _open_loop_run(tenants=tenants)
+        assert result.offered_ops > result.accepted_ops * 1.5
+
+    def test_rejections_surface_per_tenant(self):
+        admission = AdmissionConfig(
+            enabled=True,
+            max_queue_depth=8,
+            tenant_rate_ops={"b": 10_000.0},
+            tenant_burst_ops=1.0,
+        )
+        _cluster, result = _open_loop_run(admission=admission)
+        assert result.tenants["b"].rejected > 0
+        assert result.rejected_ops >= result.tenants["b"].rejected
+        assert result.tenants["a"].rejected == 0
+
+    def test_breaker_sheds_under_sustained_rejection(self):
+        tenants = [
+            TenantSpec(
+                name="b",
+                workload=READS,
+                arrivals=ArrivalProcess(rate_ops_per_s=100_000.0),
+                degradation=DegradationConfig(
+                    breaker_window=16,
+                    breaker_min_samples=8,
+                    breaker_threshold=0.5,
+                    breaker_cooldown_s=0.5e-3,
+                    breaker_probes=2,
+                ),
+                max_op_retries=0,
+                sessions=4,
+            )
+        ]
+        admission = AdmissionConfig(
+            enabled=True,
+            tenant_rate_ops={"b": 1_000.0},
+            tenant_burst_ops=1.0,
+        )
+        cluster, result = _open_loop_run(admission=admission, tenants=tenants)
+        outcome = result.tenants["b"]
+        assert outcome.shed > 0
+        assert outcome.rejected > 0
+        snap = result.observability
+        shed_metric = sum(
+            m["value"]
+            for m in snap["metrics"]
+            if m["name"] == "nam_load_shed_total"
+        )
+        transitions = sum(
+            m["value"]
+            for m in snap["metrics"]
+            if m["name"] == "nam_breaker_transitions_total"
+        )
+        assert shed_metric > 0 and transitions > 0
+
+    def test_slo_attainment_flows_into_namscope(self):
+        _cluster, result = _open_loop_run()
+        gauges = {
+            m["labels"]["tenant"]: m["value"]
+            for m in result.observability["metrics"]
+            if m["name"] == "nam_slo_attainment"
+        }
+        assert gauges == {"a": result.tenants["a"].slo_attainment}
+
+    def test_duplicate_tenant_names_rejected(self):
+        cluster = Cluster(ClusterConfig(num_memory_servers=2, seed=1))
+        dataset = generate_dataset(500, gap=4)
+        index = CoarseGrainedIndex.build(cluster, "idx", dataset.pairs())
+        runner = OpenLoopRunner(cluster, dataset)
+        tenant = TenantSpec(
+            name="dup", workload=READS,
+            arrivals=ArrivalProcess(rate_ops_per_s=1000.0),
+        )
+        with pytest.raises(ConfigurationError):
+            runner.run(index, [tenant, tenant])
+        with pytest.raises(ConfigurationError):
+            runner.run(index, [])
