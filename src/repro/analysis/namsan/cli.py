@@ -1,13 +1,20 @@
-"""``python -m repro.namsan`` — lint source trees, sanitize verb traces.
+"""``python -m repro.namsan`` — lint, sanitize traces, explore schedules.
 
-Two subcommands::
+Three subcommands::
 
-    python -m repro.namsan lint src/repro            # rules N01-N05
+    python -m repro.namsan lint src/repro            # rules N01-N07
     python -m repro.namsan sanitize trace.jsonl      # race detection
+    python -m repro.namsan explore lock-steal        # schedule exploration
 
-Exit status: 0 clean, 1 violations/races found, 2 unusable input. With
-``--github``, findings are also printed as GitHub Actions workflow
+Exit status: 0 clean, 1 violations/races found, 2 unusable input
+(``explore --expect-violations`` inverts 0/1: it is for CI legs that
+mutate a guard out and *require* the explorer to rediscover the race).
+With ``--github``, findings are also printed as GitHub Actions workflow
 commands (``::error file=...``) so CI runs annotate the diff.
+
+The lint help text is derived from :data:`RULE_DESCRIPTIONS`, which is
+asserted against :data:`RULE_IDS` at import — adding a rule without
+updating both is an immediate failure, not a silently stale ``--help``.
 """
 
 from __future__ import annotations
@@ -16,8 +23,18 @@ import argparse
 from typing import List, Optional
 
 from repro.analysis.namsan.events import load_trace, resequence
-from repro.analysis.namsan.linter import RULE_IDS, Violation, lint_paths
-from repro.analysis.namsan.rules import RULES
+from repro.analysis.namsan.explore import (
+    DEFAULT_DEPTH,
+    DEFAULT_RUNS,
+    SCENARIOS,
+    explore,
+)
+from repro.analysis.namsan.linter import (
+    RULE_DESCRIPTIONS,
+    RULE_IDS,
+    Violation,
+    lint_paths,
+)
 from repro.analysis.namsan.sanitizer import RaceDetector
 from repro.errors import AnalysisError
 
@@ -74,24 +91,60 @@ def _run_sanitize(args: argparse.Namespace) -> int:
     return EXIT_FINDINGS if detector.races else EXIT_CLEAN
 
 
+def _run_explore(args: argparse.Namespace) -> int:
+    impl = SCENARIOS.get(args.scenario)
+    if args.mutate_guard and impl is not None and not impl.mutable:
+        raise AnalysisError(
+            f"scenario '{args.scenario}' has no guard to mutate "
+            "(--mutate-guard applies to: "
+            + ", ".join(s for s, i in sorted(SCENARIOS.items()) if i.mutable)
+            + ")"
+        )
+    report = explore(
+        args.scenario,
+        runs=args.runs,
+        depth=args.depth,
+        mutate_guard=args.mutate_guard,
+    )
+    for violation in report.violations:
+        print(violation.describe())
+        if args.github:
+            print(
+                f"::error title=namsan explore {report.scenario}::"
+                f"{_github_escape(violation.describe())}"
+            )
+    print(report.summary())
+    if args.expect_violations:
+        if report.ok:
+            print(
+                "[namsan explore] expected violations but found none — the "
+                "seeded bug was not rediscovered within the budget"
+            )
+            return EXIT_FINDINGS
+        return EXIT_CLEAN
+    return EXIT_CLEAN if report.ok else EXIT_FINDINGS
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.namsan",
-        description="namsan: static invariant linter + remote-memory race "
-        "sanitizer for the repro RDMA fabric",
+        description="namsan: static invariant linter, remote-memory race "
+        "sanitizer, and bounded schedule explorer for the repro RDMA fabric",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     rule_help = "; ".join(
-        f"{rule}: {description}" for rule, (_checker, description) in RULES.items()
+        f"{rule}: {RULE_DESCRIPTIONS[rule]}" for rule in RULE_IDS
     )
     lint = sub.add_parser(
-        "lint", help="run rules N01-N05 over source files/directories"
+        "lint",
+        help=f"run rules {RULE_IDS[0]}-{RULE_IDS[-1]} over source "
+        "files/directories",
     )
     lint.add_argument("paths", nargs="+", help="files or directories to lint")
     lint.add_argument(
         "--rules",
-        help=f"comma-separated rule subset (default all; N02: lock pairing; {rule_help})",
+        help=f"comma-separated rule subset (default all; {rule_help})",
     )
     lint.add_argument(
         "--github",
@@ -116,6 +169,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also emit GitHub Actions ::error annotations",
     )
     sanitize.set_defaults(run=_run_sanitize)
+
+    scenario_help = "; ".join(
+        f"{name}: {impl.description}" for name, impl in sorted(SCENARIOS.items())
+    )
+    explore_cmd = sub.add_parser(
+        "explore",
+        help="systematically explore simulator schedules for a scenario",
+    )
+    explore_cmd.add_argument("scenario", help=scenario_help)
+    explore_cmd.add_argument(
+        "--runs",
+        type=int,
+        default=DEFAULT_RUNS,
+        help=f"scenario execution budget (default {DEFAULT_RUNS})",
+    )
+    explore_cmd.add_argument(
+        "--depth",
+        type=int,
+        default=DEFAULT_DEPTH,
+        help="max branch points sampled per executed run "
+        f"(default {DEFAULT_DEPTH})",
+    )
+    explore_cmd.add_argument(
+        "--mutate-guard",
+        action="store_true",
+        help="run the scenario with its lock guard mutated out; the "
+        "explorer must then rediscover the race (pair with "
+        "--expect-violations in CI)",
+    )
+    explore_cmd.add_argument(
+        "--expect-violations",
+        action="store_true",
+        help="invert the exit code: 0 if violations were found, 1 if the "
+        "exploration came back clean",
+    )
+    explore_cmd.add_argument(
+        "--github",
+        action="store_true",
+        help="also emit GitHub Actions ::error annotations",
+    )
+    explore_cmd.set_defaults(run=_run_explore)
     return parser
 
 

@@ -14,13 +14,23 @@ tests that "passed" by scheduling luck.
 Tests that *deliberately* race (the lock-bypass regression tests) opt out
 with ``@pytest.mark.namsan_allow_races``. Without ``--namsan`` the
 fixture is inert and clusters are untouched.
+
+The ``namsan_explore`` fixture is always available (no flag needed): it
+wraps :func:`repro.analysis.namsan.explore.explore` with small test-sized
+budgets so a regression test can sweep a scenario's interleavings in a
+fraction of a second instead of pinning one lucky schedule.
 """
 
 from __future__ import annotations
 
 import pytest
 
-__all__ = ["pytest_addoption", "pytest_configure", "namsan_trace"]
+__all__ = [
+    "pytest_addoption",
+    "pytest_configure",
+    "namsan_trace",
+    "namsan_explore",
+]
 
 
 def pytest_addoption(parser) -> None:
@@ -82,3 +92,21 @@ def namsan_trace(request):
             ]
     if lines:
         pytest.fail("\n".join(lines), pytrace=False)
+
+
+@pytest.fixture
+def namsan_explore():
+    """Schedule exploration at test-sized budgets.
+
+    Returns a callable with the :func:`~repro.analysis.namsan.explore.explore`
+    signature but ``runs=12, depth=6`` defaults — enough to cover every
+    scenario's distinct sync orders in well under a second.
+    """
+    from repro.analysis.namsan.explore import explore
+
+    def run(scenario, runs=12, depth=6, mutate_guard=False):
+        return explore(
+            scenario, runs=runs, depth=depth, mutate_guard=mutate_guard
+        )
+
+    return run

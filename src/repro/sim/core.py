@@ -17,6 +17,23 @@ and NAM cluster models need:
 Determinism: events scheduled for the same instant fire in scheduling order
 (a monotonically increasing sequence number breaks ties), so a seeded run is
 fully reproducible.
+
+Schedule control: a :class:`Simulator` optionally carries a *scheduler* —
+any object with a ``choose(at, ready)`` method and an optional ``window``
+attribute (virtual seconds, default 0). Whenever two or more events are
+ready within ``window`` of the earliest queued event, the kernel hands the
+scheduler the ready list (in ``(time, sequence)`` order) and fires the
+entry whose index it returns; the rest stay queued and are offered again.
+Choosing a later entry *defers* the earlier ones — they fire after it, at
+an unchanged virtual timestamp (the clock never runs backwards; deferred
+events model scheduling jitter the fabric is allowed to exhibit). Nothing
+ever fires early, and an event is only ever queued once its causes have
+fired, so causal chains are preserved. With no scheduler attached (the
+default) the behavior is byte-identical to the plain heap order, and a
+scheduler with ``window == 0`` that returns ``0`` from ``choose``
+reproduces it. This is the hook the namsan schedule explorer
+(:mod:`repro.analysis.namsan.explore`) uses to enumerate interleavings of
+concurrent client processes at synchronization points.
 """
 
 from __future__ import annotations
@@ -265,10 +282,18 @@ class Simulator:
         assert proc.value == "done" and sim.now == 1.0
     """
 
-    def __init__(self) -> None:
+    def __init__(self, scheduler: Optional[Any] = None) -> None:
         self.now: float = 0.0
         self._heap: List[Any] = []
         self._sequence = 0
+        #: Optional tie-breaking policy: an object with
+        #: ``choose(at: float, ready: List[(at, seq, Event)]) -> int``,
+        #: consulted whenever >= 2 events are ready at the same instant.
+        #: ``ready`` is sorted by sequence number; index 0 reproduces the
+        #: default order. May be attached/detached at any point between
+        #: events (the explorer attaches it only around the concurrent
+        #: phase of a scenario). None = plain deterministic heap order.
+        self.scheduler = scheduler
         #: The :class:`Process` currently driving its generator, or None
         #: (between events, or while firing non-process callbacks). Spawned
         #: processes inherit their ``span`` from it; observability reads it
@@ -314,6 +339,30 @@ class Simulator:
         self._sequence += 1
         heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
 
+    def _pop_choice(self, at: float, until: Optional[float] = None) -> Any:
+        """Pop the next entry to fire, letting the attached scheduler pick
+        among all entries ready within its ``window`` of the earliest one
+        (never reaching past *until*). The entries not chosen are pushed
+        back and offered again at the next step, so one ``choose`` call
+        resolves one firing, not the whole group."""
+        heap = self._heap
+        limit = at + getattr(self.scheduler, "window", 0.0)
+        if until is not None and limit > until:
+            limit = until
+        ready = [heapq.heappop(heap)]
+        while heap and heap[0][0] <= limit:
+            ready.append(heapq.heappop(heap))
+        if len(ready) > 1:
+            index = self.scheduler.choose(at, ready)
+            if not 0 <= index < len(ready):
+                index = 0
+        else:
+            index = 0
+        chosen = ready.pop(index)
+        for entry in ready:
+            heapq.heappush(heap, entry)
+        return chosen
+
     def run(self, until: Optional[float] = None) -> None:
         """Run until the event queue drains or the clock passes *until*.
 
@@ -326,8 +375,14 @@ class Simulator:
             if until is not None and at > until:
                 self.now = until
                 return
-            heapq.heappop(heap)
-            self.now = at
+            if self.scheduler is None:
+                heapq.heappop(heap)
+                self.now = at
+            else:
+                at, _seq, event = self._pop_choice(at, until)
+                # A deferred entry may carry a timestamp the clock already
+                # passed; it fires late, the clock never runs backwards.
+                self.now = max(self.now, at)
             event._fire()
         if until is not None and until > self.now:
             self.now = until
@@ -346,8 +401,12 @@ class Simulator:
                     "event queue drained before the awaited event fired "
                     "(model deadlock?)"
                 )
-            at, _seq, event = heapq.heappop(heap)
-            self.now = at
+            if self.scheduler is None:
+                at, _seq, event = heapq.heappop(heap)
+                self.now = at
+            else:
+                at, _seq, event = self._pop_choice(heap[0][0])
+                self.now = max(self.now, at)
             event._fire()
         if target._is_error:
             target._defused = True

@@ -6,11 +6,13 @@ import pytest
 
 from repro import Cluster, ClusterConfig
 
-# Registers the --namsan option, the namsan_allow_races marker, and the
+# Registers the --namsan option, the namsan_allow_races marker, the
 # autouse fixture that traces every cluster for data races when the
-# option is on (inert otherwise). Imported rather than installed so the
+# option is on (inert otherwise), and the always-available small-budget
+# schedule-exploration fixture. Imported rather than installed so the
 # plugin rides along with the source tree.
 from repro.analysis.namsan.pytest_plugin import (  # noqa: F401
+    namsan_explore,
     namsan_trace,
     pytest_addoption,
     pytest_configure,

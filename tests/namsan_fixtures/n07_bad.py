@@ -1,0 +1,51 @@
+"""N07 bad fixture: a lock-order inversion across two functions, plus a
+RetryConfig whose literal lease is shorter than its retry budget.
+
+``rebalance_left`` locks the left sibling then (still holding it) calls a
+helper that locks the right sibling; ``rebalance_right`` does the mirror
+image. Two clients running the two entry points against the same pair of
+siblings acquire the locks in opposite orders — the classic distributed
+deadlock the per-function N02 check cannot see. Expected findings: one
+per cycle edge (2) and one for the lease (3 total).
+"""
+
+
+class Rebalancer:
+    def __init__(self, acc):
+        self.acc = acc
+
+    def rebalance_left(self, left_ptr, right_ptr, left):
+        locked = yield from self.acc.try_lock(left_ptr, left.version)
+        if not locked:
+            return False
+        yield from self._drain_right(right_ptr)
+        yield from self.acc.unlock_write(left_ptr, left)
+        return True
+
+    def _drain_right(self, right_ptr):
+        node = yield from self.acc.read_node(right_ptr)
+        locked = yield from self.acc.try_lock(right_ptr, node.version)
+        if not locked:
+            return
+        yield from self.acc.unlock_write(right_ptr, node)
+
+    def rebalance_right(self, left_ptr, right_ptr, right):
+        locked = yield from self.acc.try_lock(right_ptr, right.version)
+        if not locked:
+            return False
+        yield from self._drain_left(left_ptr)
+        yield from self.acc.unlock_write(right_ptr, right)
+        return True
+
+    def _drain_left(self, left_ptr):
+        node = yield from self.acc.read_node(left_ptr)
+        locked = yield from self.acc.try_lock(left_ptr, node.version)
+        if not locked:
+            return
+        yield from self.acc.unlock_write(left_ptr, node)
+
+
+def tight_lease_config(RetryConfig):
+    # Lease (0.5ms) < 2 * retry budget (1ms with the defaults): a live
+    # holder can be lease-stolen mid-write.
+    return RetryConfig(lock_lease_s=0.0005)

@@ -1,0 +1,38 @@
+"""N07 good fixture: the same rebalance shaped the Lehman/Yao way — the
+first lock is released *before* the sibling is taken (the helper is a
+releasing delegate, so the analysis sees the section end at the call) —
+plus a RetryConfig whose literal lease comfortably covers the budget.
+"""
+
+
+class Rebalancer:
+    def __init__(self, acc):
+        self.acc = acc
+
+    def rebalance_left(self, left_ptr, right_ptr, left):
+        locked = yield from self.acc.try_lock(left_ptr, left.version)
+        if not locked:
+            return False
+        yield from self.acc.unlock_write(left_ptr, left)
+        yield from self._drain(right_ptr)
+        return True
+
+    def rebalance_right(self, left_ptr, right_ptr, right):
+        locked = yield from self.acc.try_lock(right_ptr, right.version)
+        if not locked:
+            return False
+        yield from self.acc.unlock_write(right_ptr, right)
+        yield from self._drain(left_ptr)
+        return True
+
+    def _drain(self, sibling_ptr):
+        node = yield from self.acc.read_node(sibling_ptr)
+        locked = yield from self.acc.try_lock(sibling_ptr, node.version)
+        if not locked:
+            return
+        yield from self.acc.unlock_write(sibling_ptr, node)
+
+
+def comfortable_lease_config(RetryConfig):
+    # 5ms lease against the default 1ms worst-case budget.
+    return RetryConfig(lock_lease_s=0.005)

@@ -1,8 +1,9 @@
 """The ``python -m repro.namsan`` command-line front end.
 
-Covers both subcommands end to end: exit codes (0 clean / 1 findings /
-2 unusable input), human-readable output, GitHub Actions ``::error``
-annotations, and the module shim itself via a subprocess smoke test.
+Covers all three subcommands end to end: exit codes (0 clean / 1
+findings / 2 unusable input; ``explore --expect-violations`` inverts
+0/1), human-readable output, GitHub Actions ``::error`` annotations, and
+the module shim itself via a subprocess smoke test.
 """
 
 from __future__ import annotations
@@ -155,6 +156,55 @@ def test_sanitize_read_races_flag(tmp_path, capsys, read_races, expected):
         argv.insert(1, "--read-races")
     assert main(argv) == expected
     capsys.readouterr()
+
+
+def test_explore_clean_scenario_exits_zero(capsys):
+    argv = ["explore", "lock-bypass", "--runs", "4"]
+    assert main(argv) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "[namsan explore] lock-bypass: OK" in out
+
+
+def test_explore_violations_exit_one(capsys):
+    argv = ["explore", "lock-bypass", "--runs", "4", "--mutate-guard"]
+    assert main(argv) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "race:" in out
+    assert "violation(s)" in out
+
+
+def test_explore_expect_violations_inverts_exit(capsys):
+    # The CI mutant leg: finding the seeded race is the PASS condition...
+    argv = [
+        "explore", "lock-bypass", "--runs", "4",
+        "--mutate-guard", "--expect-violations",
+    ]
+    assert main(argv) == EXIT_CLEAN
+    capsys.readouterr()
+    # ...and a clean exploration under --expect-violations is a FAILURE.
+    argv = ["explore", "lock-bypass", "--runs", "4", "--expect-violations"]
+    assert main(argv) == EXIT_FINDINGS
+    assert "not rediscovered" in capsys.readouterr().out
+
+
+def test_explore_github_annotations(capsys):
+    argv = [
+        "explore", "lock-bypass", "--runs", "2", "--mutate-guard", "--github",
+    ]
+    assert main(argv) == EXIT_FINDINGS
+    assert "::error title=namsan explore lock-bypass::" in capsys.readouterr().out
+
+
+def test_explore_unknown_scenario_exits_two(capsys):
+    assert main(["explore", "nonesuch"]) == EXIT_ERROR
+    out = capsys.readouterr().out
+    assert "unknown scenario" in out and "lock-steal" in out
+
+
+def test_explore_mutate_guard_rejected_without_guard(capsys):
+    argv = ["explore", "lock-steal", "--mutate-guard"]
+    assert main(argv) == EXIT_ERROR
+    assert "no guard to mutate" in capsys.readouterr().out
 
 
 def test_module_shim_runs_as_script(tmp_path):

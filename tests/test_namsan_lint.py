@@ -14,7 +14,15 @@ import os
 
 import pytest
 
-from repro.analysis.namsan.linter import lint_file, lint_paths, lint_source
+from repro.analysis.namsan import deadlock
+from repro.analysis.namsan.linter import (
+    RULE_DESCRIPTIONS,
+    RULE_IDS,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.config import RetryConfig
 from repro.errors import AnalysisError
 
 FIXTURES = os.path.join(os.path.dirname(__file__), "namsan_fixtures")
@@ -28,6 +36,7 @@ CASES = {
     "N04": ("src/repro/nam", 4),
     "N05": ("src/repro/nam", 3),
     "N06": ("src/repro/obs", 3),
+    "N07": ("src/repro/index", 3),
 }
 
 
@@ -111,6 +120,122 @@ def test_n04_allows_system_exit_only_under_main_guard():
     assert [v.rule for v in lint_source(bare, "src/repro/nam/x.py")] == ["N04"]
     guarded = bare + "\nif __name__ == '__main__':\n    f()\n"
     assert lint_source(guarded, "src/repro/nam/x.py") == []
+
+
+def test_rule_catalog_is_complete():
+    """Every rule id has a description — the CLI help derives from this."""
+    assert set(RULE_DESCRIPTIONS) == set(RULE_IDS)
+    assert all(RULE_DESCRIPTIONS[rule] for rule in RULE_IDS)
+
+
+def test_suppression_multi_rule_list():
+    source = "def f(server):\n    return server.region.read_u64(0)\n"
+    path = "src/repro/index/x.py"
+    listed = source.replace(
+        "read_u64(0)", "read_u64(0)  # namsan: allow[N01, N03]"
+    )
+    assert lint_source(listed, path) == []
+    # A list that names other rules only does not suppress N03.
+    other = source.replace(
+        "read_u64(0)", "read_u64(0)  # namsan: allow[N01,N05]"
+    )
+    assert len(lint_source(other, path)) == 1
+
+
+def test_suppression_on_continuation_line():
+    """For a statement spanning physical lines, the allow comment may sit
+    on any of them — including a line other than the one reported."""
+    source = (
+        "def f(server):\n"
+        "    return server.region.read_u64(\n"
+        "        0\n"
+        "    )  # namsan: allow[N03]\n"
+    )
+    path = "src/repro/index/x.py"
+    assert lint_source(source, path) == []
+    # The same comment *outside* the statement's span does not reach back.
+    apart = (
+        "def f(server):\n"
+        "    return server.region.read_u64(0)\n"
+        "    # namsan: allow[N03]\n"
+    )
+    assert len(lint_source(apart, path)) == 1
+
+
+def test_n07_scoped_to_lock_protocol_packages():
+    """The same inversion outside repro/{index,nam,btree} is out of scope."""
+    violations = lint_file(
+        _fixture("n07_bad.py"),
+        rules=["N07"],
+        pretend_path="src/repro/sim/n07_bad.py",
+    )
+    assert violations == [], [str(v) for v in violations]
+
+
+def test_n07_cross_file_cycle(tmp_path):
+    """A lock-order cycle whose two halves live in different modules is
+    only visible to the whole-set pass that lint_paths arranges."""
+    pkg = tmp_path / "src" / "repro" / "index"
+    pkg.mkdir(parents=True)
+    (pkg / "left.py").write_text(
+        "def take_left_then_right(acc, a_ptr, b_ptr, a):\n"
+        "    locked = yield from acc.try_lock(a_ptr, a.version)\n"
+        "    if locked:\n"
+        "        yield from grab_right(acc, b_ptr)\n"
+        "        yield from acc.unlock_write(a_ptr, a)\n"
+        "\n"
+        "def grab_left(acc, a_ptr):\n"
+        "    node = yield from acc.read_node(a_ptr)\n"
+        "    locked = yield from acc.try_lock(a_ptr, node.version)\n"
+        "    if locked:\n"
+        "        yield from acc.unlock_write(a_ptr, node)\n",
+        encoding="utf-8",
+    )
+    (pkg / "right.py").write_text(
+        "def take_right_then_left(acc, a_ptr, b_ptr, b):\n"
+        "    locked = yield from acc.try_lock(b_ptr, b.version)\n"
+        "    if locked:\n"
+        "        yield from grab_left(acc, a_ptr)\n"
+        "        yield from acc.unlock_write(b_ptr, b)\n"
+        "\n"
+        "def grab_right(acc, b_ptr):\n"
+        "    node = yield from acc.read_node(b_ptr)\n"
+        "    locked = yield from acc.try_lock(b_ptr, node.version)\n"
+        "    if locked:\n"
+        "        yield from acc.unlock_write(b_ptr, node)\n",
+        encoding="utf-8",
+    )
+    violations = lint_paths([str(pkg)], rules=["N07"])
+    assert len(violations) == 2, [str(v) for v in violations]
+    assert {v.path for v in violations} == {
+        str(pkg / "left.py"),
+        str(pkg / "right.py"),
+    }
+    assert all("lock-order cycle" in v.message for v in violations)
+    # Each file alone shows no cycle.
+    for name in ("left.py", "right.py"):
+        assert lint_paths([str(pkg / name)], rules=["N07"]) == []
+
+
+def test_n07_lease_needs_literal_arguments():
+    path = "src/repro/nam/x.py"
+    tight = "def f(RetryConfig):\n    return RetryConfig(lock_lease_s=0.0005)\n"
+    found = lint_source(tight, path, rules=["N07"])
+    assert len(found) == 1 and "lock_lease_s" in found[0].message
+    # Non-literal constructions are not statically provable: no finding.
+    dynamic = "def f(RetryConfig, lease):\n    return RetryConfig(lock_lease_s=lease)\n"
+    assert lint_source(dynamic, path, rules=["N07"]) == []
+
+
+def test_n07_lease_defaults_match_config():
+    """deadlock.RETRY_DEFAULTS mirrors repro.config.RetryConfig — if the
+    runtime defaults move, the static model must move with them."""
+    config = RetryConfig()
+    for name in deadlock.RETRY_FIELD_ORDER:
+        assert deadlock.RETRY_DEFAULTS[name] == getattr(config, name), name
+    # And the budget formula agrees with the runtime's own worst case.
+    budget = deadlock.retry_budget_s(dict(deadlock.RETRY_DEFAULTS))
+    assert budget == pytest.approx(config.retry_budget_s)
 
 
 def test_unknown_rule_rejected():
