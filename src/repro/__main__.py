@@ -91,6 +91,8 @@ _TABLE = [
                "ext_verb_batching", style="extension"),
     Experiment("overload", "Extension: flash-crowd overload & admission",
                "ext_overload", style="extension"),
+    Experiment("engine", "Extension: engine wall-clock speed (host-side)",
+               "ext_engine", style="extension"),
 ]
 
 EXPERIMENTS = {entry.key: entry for entry in _TABLE}
@@ -161,6 +163,13 @@ def cmd_run(args) -> None:
         from repro.reporting import write_csv
         from repro.workloads.metrics import RunResult
 
+        if not hasattr(results, "items"):
+            entry = EXPERIMENTS[args.experiment]
+            print(
+                f"(these cells are not RunResults; use `python -m "
+                f"repro.experiments.{entry.module} --json PATH` instead)"
+            )
+            return
         flat = {
             key: value[0] if isinstance(value, tuple) else value
             for key, value in results.items()

@@ -57,8 +57,17 @@ class NodeAccessor(abc.ABC):
     obs = None
 
     @abc.abstractmethod
-    def read_node(self, raw_ptr: int) -> Generator[Any, Any, Node]:
-        """Fetch and decode the page at *raw_ptr* (may be locked)."""
+    def read_node(
+        self, raw_ptr: int, shared: bool = False
+    ) -> Generator[Any, Any, Node]:
+        """Fetch and decode the page at *raw_ptr* (may be locked).
+
+        With ``shared=True`` the caller promises to treat the result as
+        immutable; accessors that memoize decodes may then return the
+        shared master instead of a private clone. Read-only traversals
+        (lookup, scan) pass True; insert/update/delete descents — which
+        mutate the node they later lock — keep the owned default.
+        """
 
     @abc.abstractmethod
     def write_node(self, raw_ptr: int, node: Node) -> Generator[Any, Any, None]:

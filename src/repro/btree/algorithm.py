@@ -31,11 +31,11 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from repro.btree.accessor import NodeAccessor, RootRef
 from repro.btree.node import (
     MAX_KEY,
+    TOMBSTONE_BIT,
     Node,
     NodeType,
     fanout,
     is_tombstoned,
-    strip_tombstone,
 )
 from repro.btree.pointers import is_null
 from repro.errors import IndexError_
@@ -80,7 +80,9 @@ class BLinkTree:
     # navigation helpers                                                  #
     # ------------------------------------------------------------------ #
 
-    def _read_unlocked(self, raw_ptr: int) -> Generator[Any, Any, Node]:
+    def _read_unlocked(
+        self, raw_ptr: int, shared: bool = False
+    ) -> Generator[Any, Any, Node]:
         """Fetch the page at *raw_ptr*, spinning while its lock bit is set
         (the paper's ``readLockOrRestart`` / ``remote_awaitNodeUnlocked``).
 
@@ -91,14 +93,14 @@ class BLinkTree:
         write inside the critical section, an unlock, someone else's
         steal — re-arms the timer.
         """
-        node = yield from self.acc.read_node(raw_ptr)
+        node = yield from self.acc.read_node(raw_ptr, shared)
         if not node.is_locked:
             return node
         observed_word = node.version
         observed_since = self.acc.now()
         while True:
             yield from self.acc.spin_pause()
-            node = yield from self.acc.read_node(raw_ptr)
+            node = yield from self.acc.read_node(raw_ptr, shared)
             if not node.is_locked:
                 return node
             if node.version != observed_word:
@@ -113,7 +115,8 @@ class BLinkTree:
                 observed_since = self.acc.now()
 
     def _descend_from(
-        self, raw_ptr: int, node: Node, key: int, level: int
+        self, raw_ptr: int, node: Node, key: int, level: int,
+        shared: bool = False,
     ) -> Generator[Any, Any, Tuple[int, Node]]:
         """Walk down from *node* to the node at *level* covering *key*,
         moving right through siblings whenever the key escapes a node's
@@ -134,36 +137,38 @@ class BLinkTree:
                 step_kind = "descend"
             if obs is not None:
                 obs.enter_step(step_kind, f"level_{node.level}")
-            node = yield from self._read_unlocked(raw_ptr)
+            node = yield from self._read_unlocked(raw_ptr, shared)
             if obs is not None:
                 obs.exit_step()
         while not node.covers(key) and not is_null(node.right):
             raw_ptr = node.right
             if obs is not None:
                 obs.enter_step("move_right", f"level_{node.level}")
-            node = yield from self._read_unlocked(raw_ptr)
+            node = yield from self._read_unlocked(raw_ptr, shared)
             if obs is not None:
                 obs.exit_step()
         return raw_ptr, node
 
     def _descend_to_level(
-        self, key: int, level: int
+        self, key: int, level: int, shared: bool = False
     ) -> Generator[Any, Any, Tuple[int, Node]]:
         obs = self.acc.obs
         raw_ptr = yield from self.root.get()
         if obs is not None:
             obs.enter_step("descend", "root")
-        node = yield from self._read_unlocked(raw_ptr)
+        node = yield from self._read_unlocked(raw_ptr, shared)
         if obs is not None:
             obs.exit_step()
-        return (yield from self._descend_from(raw_ptr, node, key, level))
+        return (
+            yield from self._descend_from(raw_ptr, node, key, level, shared)
+        )
 
     # ------------------------------------------------------------------ #
     # reads                                                               #
     # ------------------------------------------------------------------ #
 
     def _locate_from(
-        self, raw_ptr: int, key: int
+        self, raw_ptr: int, key: int, shared: bool = False
     ) -> Generator[Any, Any, Tuple[int, Node]]:
         """Read the node at *raw_ptr* and move right until it covers *key*.
 
@@ -171,12 +176,12 @@ class BLinkTree:
         a traversal RPC; the leaf may have split since, so the move-right
         step is mandatory (Section 5.2)."""
         obs = self.acc.obs
-        node = yield from self._read_unlocked(raw_ptr)
+        node = yield from self._read_unlocked(raw_ptr, shared)
         while not node.covers(key) and not is_null(node.right):
             raw_ptr = node.right
             if obs is not None:
                 obs.enter_step("move_right", f"level_{node.level}")
-            node = yield from self._read_unlocked(raw_ptr)
+            node = yield from self._read_unlocked(raw_ptr, shared)
             if obs is not None:
                 obs.exit_step()
         return raw_ptr, node
@@ -186,12 +191,12 @@ class BLinkTree:
 
         Non-unique keys are supported; an empty list means "not found".
         """
-        _ptr, leaf = yield from self._descend_to_level(key, 0)
+        _ptr, leaf = yield from self._descend_to_level(key, 0, shared=True)
         return leaf.leaf_matches(key)
 
     def lookup_at(self, leaf_ptr: int, key: int) -> Generator[Any, Any, List[int]]:
         """Point query starting from a known leaf pointer (hybrid design)."""
-        _ptr, leaf = yield from self._locate_from(leaf_ptr, key)
+        _ptr, leaf = yield from self._locate_from(leaf_ptr, key, shared=True)
         return leaf.leaf_matches(key)
 
     def range_scan(
@@ -205,7 +210,7 @@ class BLinkTree:
         """
         if high <= low:
             return []
-        raw_ptr, node = yield from self._descend_to_level(low, 0)
+        raw_ptr, node = yield from self._descend_to_level(low, 0, shared=True)
         return (yield from self._scan_chain(raw_ptr, node, low, high))
 
     def scan_at(
@@ -214,7 +219,7 @@ class BLinkTree:
         """Range query starting from a known leaf pointer (hybrid design)."""
         if high <= low:
             return []
-        raw_ptr, node = yield from self._locate_from(leaf_ptr, low)
+        raw_ptr, node = yield from self._locate_from(leaf_ptr, low, shared=True)
         return (yield from self._scan_chain(raw_ptr, node, low, high))
 
     def _scan_chain(
@@ -224,17 +229,20 @@ class BLinkTree:
         prefetched: Dict[int, Node] = {}
         seen_heads = set()
         while True:
-            # Keys are sorted: bisect to the first in-range entry instead of
-            # scanning past everything below *low*.
-            start = bisect_left(node.keys, low)
-            for index in range(start, len(node.keys)):
-                key = node.keys[index]
-                if key >= high:
-                    return results
-                value = node.values[index]
-                if not is_tombstoned(value):
-                    results.append((key, strip_tombstone(value)))
-            if node.high_key >= high or is_null(node.right):
+            # Keys are sorted: bisect to the in-range span [start, end)
+            # instead of testing every key against both bounds. An entry at
+            # or past *high* inside the node means the scan is complete.
+            keys = node.keys
+            values = node.values
+            start = bisect_left(keys, low)
+            end = bisect_left(keys, high, start)
+            if end > start:
+                results += [
+                    pair
+                    for pair in zip(keys[start:end], values[start:end])
+                    if not pair[1] & TOMBSTONE_BIT
+                ]
+            if end < len(keys) or node.high_key >= high or is_null(node.right):
                 return results
             if (
                 self.use_head_nodes

@@ -149,19 +149,27 @@ class Node:
         registered region (:meth:`MemoryRegion.read_view`) and decoding
         copies nothing but the entry words themselves.
         """
-        if len(data) < HEADER_BYTES:
-            raise IndexError_(f"page image too small: {len(data)} bytes")
+        size = len(data)
+        if size < HEADER_BYTES:
+            raise IndexError_(f"page image too small: {size} bytes")
         version, meta, right, head, high_key = _HEADER.unpack_from(data)
-        node_type = meta & 0xFF
-        level = (meta >> 8) & 0xFF
         count = (meta >> 16) & 0xFFFF
         end = HEADER_BYTES + 16 * count
-        if end > len(data):
+        if end > size:
             raise IndexError_("page image truncated: count exceeds page size")
         words = memoryview(data)[HEADER_BYTES:end].cast("Q")
-        keys = list(words[0::2])
-        values = list(words[1::2])
-        return cls(node_type, level, version, right, head, high_key, keys, values)
+        # Hot path (every remote page fetch): fill the slots directly
+        # instead of routing through __init__'s defaulted signature.
+        node = cls.__new__(cls)
+        node.node_type = meta & 0xFF
+        node.level = (meta >> 8) & 0xFF
+        node.version = version
+        node.right = right
+        node.head = head
+        node.high_key = high_key
+        node.keys = list(words[0::2])
+        node.values = list(words[1::2])
+        return node
 
     def to_bytes(self, page_size: int) -> bytearray:
         """Encode this node as a page image of exactly *page_size* bytes.
@@ -194,6 +202,25 @@ class Node:
             )
             words.release()
         return page
+
+    def clone(self) -> "Node":
+        """An independent mutable copy sharing no list state.
+
+        The decode cache (:mod:`repro.index.caching`) keeps one master
+        decode per unchanged page image and hands callers clones: the
+        index designs mutate fetched nodes after locking them, so the
+        master must never escape.
+        """
+        node = Node.__new__(Node)
+        node.node_type = self.node_type
+        node.level = self.level
+        node.version = self.version
+        node.right = self.right
+        node.head = self.head
+        node.high_key = self.high_key
+        node.keys = self.keys[:]
+        node.values = self.values[:]
+        return node
 
     # -- searching -------------------------------------------------------------
 

@@ -91,7 +91,13 @@ class RemoteCache:
         self.ttl_s = ttl_s
         #: Highest node level this client has seen (root-level estimate).
         self.top_level = 0
-        #: raw_ptr -> [data, level, version, epoch, stored_at]
+        #: raw_ptr -> [data, level, version, epoch, stored_at, master]
+        #: where ``master`` is the shared decoded Node of ``data`` —
+        #: the serialization cache of docs/performance.md: repeated serves
+        #: of an unchanged image clone the master instead of re-parsing
+        #: the bytes. The master lives and dies with its entry, so every
+        #: coherence action (reject / invalidate / eviction / TTL expiry)
+        #: that drops the image drops the decode with it.
         self._entries: "OrderedDict[int, list]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -128,8 +134,8 @@ class RemoteCache:
 
     def lookup(
         self, raw_ptr: int, epoch: int, now: float
-    ) -> Optional[Tuple[bytes, int, bool]]:
-        """``(data, version, fresh)`` for a cached page, or None on miss.
+    ) -> Optional[Tuple[bytes, int, bool, Node]]:
+        """``(data, version, fresh, master)`` for a cached page, or None.
 
         ``fresh`` is False when the index's structure epoch has moved past
         the epoch the image was filled (or last revalidated) under — the
@@ -146,12 +152,17 @@ class RemoteCache:
             self.ttl_expirations += 1
             return None
         self._entries.move_to_end(raw_ptr)
-        return entry[0], entry[2], entry[3] >= epoch
+        return entry[0], entry[2], entry[3] >= epoch, entry[5]
 
     def store(
         self, raw_ptr: int, node: Node, data: bytes, epoch: int, now: float
     ) -> None:
-        self._entries[raw_ptr] = [data, node.level, node.version, epoch, now]
+        # The master decode is cloned off the caller's node: the caller
+        # keeps (and may mutate) its own copy, the cache keeps the
+        # immutable decode of *data*.
+        self._entries[raw_ptr] = [
+            data, node.level, node.version, epoch, now, node.clone()
+        ]
         self._entries.move_to_end(raw_ptr)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
@@ -253,13 +264,15 @@ class CachingRemoteAccessor(RemoteAccessor):
 
     # -- accessor overrides ---------------------------------------------------
 
-    def read_node(self, raw_ptr: int) -> Generator[Any, Any, Node]:
+    def read_node(
+        self, raw_ptr: int, shared: bool = False
+    ) -> Generator[Any, Any, Node]:
         obs = self.obs
         sim = self.compute_server.sim
         epoch = self._epoch()
         found = self.cache.lookup(raw_ptr, epoch, sim.now)
         if found is not None:
-            data, version, fresh = found
+            data, version, fresh, master = found
             if not fresh:
                 # The structure epoch moved since this image was filled:
                 # re-check the page's version word with one 8-byte READ.
@@ -276,14 +289,18 @@ class CachingRemoteAccessor(RemoteAccessor):
                 if obs is not None:
                     obs.cache_hit()
                 self._served_versions[raw_ptr] = version
-                # Only the local search cost; no page round trip.
+                # Only the local search cost; no page round trip. Serve a
+                # clone of the entry's master decode — identical to
+                # re-parsing ``data``, without the parse.
                 yield sim.timeout(self._search_cost)
-                return Node.from_bytes(data)
+                if shared:
+                    return master
+                return master.clone()
         self.cache.misses += 1
         if obs is not None:
             obs.cache_miss()
         self._served_versions.pop(raw_ptr, None)
-        node = yield from super().read_node(raw_ptr)
+        node = yield from super().read_node(raw_ptr, shared)
         self.cache.observe(node.level)
         if self.cache.cacheable(node):
             self.cache.store(

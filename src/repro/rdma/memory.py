@@ -46,6 +46,10 @@ class MemoryRegion:
         self._buf = bytearray(initial_bytes)
         self.max_bytes = max_bytes
         self._mirrors: list = []
+        # Lazily-built read-only master view of ``_buf``; every
+        # :meth:`read_view` is a slice of it (one allocation instead of
+        # three). Released before any growth — see :meth:`_ensure`.
+        self._view: memoryview = None
 
     def __len__(self) -> int:
         return len(self._buf)
@@ -77,6 +81,12 @@ class MemoryRegion:
                 f"access at {end} exceeds region maximum of {self.max_bytes} bytes"
             )
         # Grow in whole chunks so repeated appends stay amortized O(1).
+        # The master view must be released first: a bytearray cannot be
+        # resized while any export is alive. Caller-held slices still
+        # block growth (the read_view hazard contract is unchanged).
+        if self._view is not None:
+            self._view.release()
+            self._view = None
         target = min(self.max_bytes, max(end, len(self._buf) + _GROW_CHUNK))
         self._buf.extend(bytes(target - len(self._buf)))
 
@@ -86,10 +96,15 @@ class MemoryRegion:
         """Copy *length* bytes starting at *offset* (zero-filled if never written)."""
         if offset < 0 or length < 0:
             raise RemoteAccessError(f"bad read at offset={offset}, length={length}")
-        self._ensure(offset + length)
-        # Slice through a memoryview: one copy into the result instead of
-        # bytearray-slice-then-bytes (two).
-        return bytes(memoryview(self._buf)[offset : offset + length])
+        end = offset + length
+        if end > len(self._buf):
+            self._ensure(end)
+        # Slice through the master view: one copy into the result instead
+        # of bytearray-slice-then-bytes (two).
+        view = self._view
+        if view is None:
+            view = self._view = memoryview(self._buf).toreadonly()
+        return bytes(view[offset:end])
 
     def read_view(self, offset: int, length: int) -> memoryview:
         """A zero-copy read-only view of *length* bytes at *offset*.
@@ -102,8 +117,13 @@ class MemoryRegion:
         """
         if offset < 0 or length < 0:
             raise RemoteAccessError(f"bad read at offset={offset}, length={length}")
-        self._ensure(offset + length)
-        return memoryview(self._buf)[offset : offset + length].toreadonly()
+        end = offset + length
+        if end > len(self._buf):
+            self._ensure(end)
+        view = self._view
+        if view is None:
+            view = self._view = memoryview(self._buf).toreadonly()
+        return view[offset:end]
 
     def write(self, offset: int, data: bytes) -> None:
         """Store *data* at *offset*."""

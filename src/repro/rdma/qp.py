@@ -141,16 +141,33 @@ class QueuePair:
         #: control suppresses bounces for these so an
         #: AdmissionRejectedError always certifies "no side effect".
         self._rpc_admitted: set = set()
+        # Hot-path constants: the network config, both ports' channels,
+        # and the remote's verb ledger are fixed for the life of a
+        # connection, so the per-verb attribute walks are paid once here
+        # instead of on every READ/WRITE (counters are windowed by
+        # snapshot/delta, never by object replacement).
+        config = fabric.config
+        self._req_leg_wire = config.request_wire_bytes + config.header_wire_bytes
+        self._header_wire = config.header_wire_bytes
+        self._latency = config.one_way_latency_s
+        self._request_wire = config.request_wire_bytes
+        self._ltx = local_port.tx
+        self._lrx = local_port.rx
+        self._rtx = remote_server.port.tx
+        self._rrx = remote_server.port.rx
+        self._rstats = remote_server.stats
 
     # -- internals -----------------------------------------------------------
 
     def _request_leg(self, payload_bytes: int) -> Generator[Any, Any, None]:
-        yield from self.fabric.transmit(
+        # Returns fabric.transmit's generator directly (no wrapper frame);
+        # callers drive it with ``yield from`` exactly as before.
+        return self.fabric.transmit(
             self.local_port.tx, self.remote.port.rx, payload_bytes
         )
 
     def _response_leg(self, payload_bytes: int) -> Generator[Any, Any, None]:
-        yield from self.fabric.transmit(
+        return self.fabric.transmit(
             self.remote.port.tx, self.local_port.rx, payload_bytes
         )
 
@@ -340,6 +357,45 @@ class QueuePair:
         self._trace(Verb.READ, length, started_at)
         return self._apply_read(offset, length)
 
+    def read_view(self, offset: int, length: int) -> Generator[Any, Any, memoryview]:
+        """RDMA READ returning a zero-copy view of the remote region.
+
+        Timing, stats, tracing, and the returned bytes are identical to
+        :meth:`read`; only the materialization differs — no copy is made.
+        The view aliases live region memory and blocks region growth while
+        any reference survives, so callers must consume it *before their
+        next simulation yield* and drop every reference (see
+        :meth:`MemoryRegion.read_view`). Not valid under fault injection,
+        where a retried READ must re-materialize fresh bytes — callers
+        gate on ``fabric.injector is None``.
+        """
+        if not self.is_local:
+            self.local_port.ring_doorbell()
+        sim = self.sim
+        started_at = sim.now
+        stats = self._rstats
+        stats.ops[Verb.READ] += 1
+        stats.bytes[Verb.READ] += length
+        if self.is_local:
+            yield from self.fabric.local_copy(length)
+        else:
+            # Both legs inlined from fabric.transmit — same reservation
+            # order (tx before rx), same single timeout per leg.
+            latency = self._latency
+            wire = self._req_leg_wire
+            done = self._rrx.reserve(wire, self._ltx.reserve(wire) + latency)
+            yield sim.timeout(done - sim.now)
+            wire = length + self._header_wire
+            done = self._lrx.reserve(wire, self._rtx.reserve(wire) + latency)
+            yield sim.timeout(done - sim.now)
+        fabric = self.fabric
+        if fabric.tracer is not None or fabric.obs is not None:
+            self._trace(Verb.READ, length, started_at)
+        data = self.region.read_view(offset, length)
+        if fabric.sanitizer is not None:
+            self._emit("read", "READ", offset, length)
+        return data
+
     def write(self, offset: int, data: bytes) -> Generator[Any, Any, None]:
         """RDMA WRITE *data* at *offset* of the remote region."""
         if not self.is_local:
@@ -368,6 +424,56 @@ class QueuePair:
         self._trace(Verb.WRITE, len(data), started_at)
         self._apply_write(offset, data)
         yield from self._mirror(len(data))
+
+    def write_faa_chain(self, offset: int, data) -> Generator[Any, Any, int]:
+        """Doorbell-chained WRITE + FETCH_ADD(+1) on one page — the
+        unlock-release sequence, specialized past VerbBatch staging.
+
+        Wire accounting, stats, tracing, and memory effects are identical
+        to ``batch().write(offset, data).fetch_and_add(offset, 1)
+        .execute()``; the specialization exists because this 2-WQE chain
+        is the hottest batch of every write workload and the generic
+        staging (per-op closures, op tuples, result list) costs more host
+        time than the chain's own simulated legs. Callers gate on
+        ``fabric.injector is None and fabric.replication is None`` — under
+        faults or replication the generic batch path handles retry replay
+        and mirror legs.
+        """
+        fabric = self.fabric
+        nbytes = len(data)
+        if not self.is_local:
+            self.local_port.ring_doorbell(2)
+            obs = fabric.obs
+            if obs is not None:
+                obs.batch_executed(self.remote.server_id, 2)
+        batch_id = fabric.next_batch_id()
+        sim = self.sim
+        started_at = sim.now
+        stats = self._rstats
+        stats.ops[Verb.WRITE] += 1
+        stats.bytes[Verb.WRITE] += nbytes
+        stats.ops[Verb.FETCH_ADD] += 1
+        stats.bytes[Verb.FETCH_ADD] += 8
+        if self.is_local:
+            yield from fabric.local_copy(nbytes + 8)
+        else:
+            # Legs inlined from fabric.transmit (tx reserve before rx,
+            # one timeout per leg), atomic surcharge between them.
+            latency = self._latency
+            request_wire = self._request_wire
+            wire = request_wire + nbytes + request_wire + 16 + self._header_wire
+            done = self._rrx.reserve(wire, self._ltx.reserve(wire) + latency)
+            yield sim.timeout(done - sim.now)
+            yield sim.timeout(fabric.config.atomic_extra_latency_s)
+            wire = 8 + self._header_wire
+            done = self._lrx.reserve(wire, self._rtx.reserve(wire) + latency)
+            yield sim.timeout(done - sim.now)
+        self._apply_write(offset, data)
+        old = self._apply_faa(offset, 1)
+        if fabric.tracer is not None or fabric.obs is not None:
+            self._trace(Verb.WRITE, nbytes, started_at, batch_id=batch_id)
+            self._trace(Verb.FETCH_ADD, 8, started_at, batch_id=batch_id)
+        return old
 
     def _atomic_legs(self) -> Generator[Any, Any, None]:
         if self.is_local:
@@ -658,14 +764,25 @@ class VerbBatch:
     retries, exactly like single verbs.
     """
 
-    __slots__ = ("qp", "_ops", "_executed")
+    __slots__ = ("qp", "_ops", "_executed", "_request_bytes",
+                 "_response_bytes", "_payload_total", "_num_atomics")
 
     def __init__(self, qp: QueuePair) -> None:
         self.qp = qp
-        # (verb, payload_bytes, request_bytes, response_bytes, effect,
-        #  atomic, mirror_bytes) per staged WQE.
+        # (verb, payload_bytes, effect, mirror_bytes) per staged WQE. The
+        # wire totals are running sums maintained at staging time, so
+        # execute() does no per-verb aggregation passes. Two compact
+        # encodings keep the hottest stagings allocation-free: a READ's
+        # ``effect`` slot holds the region *offset* (an int — the apply
+        # call is reconstructed at execution), and a constant-size mirror
+        # leg (WRITE/FAA) stores the byte count itself instead of a
+        # callable returning it.
         self._ops: List[Tuple] = []
         self._executed = False
+        self._request_bytes = 0
+        self._response_bytes = 0
+        self._payload_total = 0
+        self._num_atomics = 0
 
     def __len__(self) -> int:
         return len(self._ops)
@@ -676,29 +793,38 @@ class VerbBatch:
         payload_bytes: int,
         request_bytes: int,
         response_bytes: int,
-        effect: Callable[[], Any],
+        effect,
         atomic: bool = False,
-        mirror_bytes: Optional[Callable[[Any], int]] = None,
+        mirror_bytes=None,
     ) -> "VerbBatch":
         if self._executed:
             raise NetworkError("cannot post to an already-executed VerbBatch")
-        self._ops.append(
-            (verb, payload_bytes, request_bytes, response_bytes, effect,
-             atomic, mirror_bytes)
-        )
+        self._ops.append((verb, payload_bytes, effect, mirror_bytes))
+        self._request_bytes += request_bytes
+        self._response_bytes += response_bytes
+        self._payload_total += payload_bytes
+        if atomic:
+            self._num_atomics += 1
         return self
+
+    @staticmethod
+    def _apply(qp: QueuePair, op: Tuple) -> Any:
+        """Run one staged WQE's memory effect (decoding the READ shorthand)."""
+        effect = op[2]
+        if effect.__class__ is int:
+            return qp._apply_read(effect, op[1])
+        return effect()
 
     # -- posting (returns self for chaining) ---------------------------------
 
     def read(self, offset: int, length: int) -> "VerbBatch":
         """Stage an RDMA READ of *length* bytes at *offset*."""
-        qp = self.qp
         return self._stage(
             Verb.READ,
             length,
             self.qp.fabric.config.request_wire_bytes,
             length,
-            lambda: qp._apply_read(offset, length),
+            offset,
         )
 
     def write(self, offset: int, data: bytes) -> "VerbBatch":
@@ -710,7 +836,7 @@ class VerbBatch:
             self.qp.fabric.config.request_wire_bytes + len(data),
             0,
             lambda: qp._apply_write(offset, data),
-            mirror_bytes=lambda _result, n=len(data): n,
+            mirror_bytes=len(data),
         )
 
     def compare_and_swap(self, offset: int, expected: int, new: int) -> "VerbBatch":
@@ -736,7 +862,7 @@ class VerbBatch:
             8,
             lambda: qp._apply_faa(offset, delta),
             atomic=True,
-            mirror_bytes=lambda _result: 8,
+            mirror_bytes=8,
         )
 
     # -- execution -----------------------------------------------------------
@@ -751,42 +877,52 @@ class VerbBatch:
         self._executed = True
         if not ops:
             return []
-        config = qp.fabric.config
-        request_bytes = sum(op[2] for op in ops)
-        response_bytes = sum(op[3] for op in ops)
-        payload_total = sum(op[1] for op in ops)
-        num_atomics = sum(1 for op in ops if op[5])
+        fabric = qp.fabric
+        request_bytes = self._request_bytes
+        response_bytes = self._response_bytes
+        num_atomics = self._num_atomics
         if not qp.is_local:
             qp.local_port.ring_doorbell(len(ops))
-            obs = qp.fabric.obs
+            obs = fabric.obs
             if obs is not None:
                 obs.batch_executed(qp.remote.server_id, len(ops))
-        batch_id = qp.fabric.next_batch_id()
-        if qp.fabric.injector is not None and not qp.is_local:
+        batch_id = fabric.next_batch_id()
+        if fabric.injector is not None and not qp.is_local:
             return (
                 yield from self._faulty_execute(
                     request_bytes, response_bytes, num_atomics, batch_id
                 )
             )
         started_at = qp.sim.now
-        for verb, payload_bytes, *_rest in ops:
-            qp.remote.stats.record(verb, payload_bytes)
+        record = qp.remote.stats.record
+        for op in ops:
+            record(op[0], op[1])
         if qp.is_local:
-            yield from qp.fabric.local_copy(payload_total)
+            yield from fabric.local_copy(self._payload_total)
         else:
             yield from qp._request_leg(request_bytes)
             if num_atomics:
-                yield qp.sim.timeout(num_atomics * config.atomic_extra_latency_s)
+                yield qp.sim.timeout(
+                    num_atomics * fabric.config.atomic_extra_latency_s
+                )
             yield from qp._response_leg(response_bytes)
+        apply = self._apply
+        replicated = fabric.replication is not None
         results: List[Any] = []
-        for _verb, _payload, _req, _resp, effect, _atomic, mirror_bytes in ops:
-            result = effect()
-            if mirror_bytes is not None:
-                yield from qp._mirror(mirror_bytes(result))
-            results.append(result)
-        if qp.fabric.tracer is not None or qp.fabric.obs is not None:
-            for verb, payload_bytes, *_rest in ops:
-                qp._trace(verb, payload_bytes, started_at, batch_id=batch_id)
+        append = results.append
+        for op in ops:
+            result = apply(qp, op)
+            mirror_bytes = op[3]
+            if mirror_bytes is not None and replicated:
+                yield from qp._mirror(
+                    mirror_bytes
+                    if mirror_bytes.__class__ is int
+                    else mirror_bytes(result)
+                )
+            append(result)
+        if fabric.tracer is not None or fabric.obs is not None:
+            for op in ops:
+                qp._trace(op[0], op[1], started_at, batch_id=batch_id)
         return results
 
     def _faulty_execute(
@@ -826,12 +962,17 @@ class VerbBatch:
                 injector.should_drop_batch(verbs, server_id)
             )
             if delivered:
+                replicated = qp.fabric.replication is not None
                 for i, op in enumerate(ops):
                     if results[i] is _UNSET:
-                        effect, mirror_bytes = op[4], op[6]
-                        results[i] = effect()
-                        if mirror_bytes is not None:
-                            yield from qp._mirror(mirror_bytes(results[i]))
+                        result = results[i] = self._apply(qp, op)
+                        mirror_bytes = op[3]
+                        if mirror_bytes is not None and replicated:
+                            yield from qp._mirror(
+                                mirror_bytes
+                                if mirror_bytes.__class__ is int
+                                else mirror_bytes(result)
+                            )
                 if num_atomics:
                     yield qp.sim.timeout(
                         num_atomics * config.atomic_extra_latency_s

@@ -24,6 +24,11 @@ class Verb(enum.Enum):
     FETCH_ADD = "fetch_add"
     SEND = "send"
 
+    # Enum's default __hash__ is a Python-level function and Verb members
+    # key the per-verb stats dicts on every completed WQE; identity hash is
+    # equivalent (members are singletons) and stays in C.
+    __hash__ = object.__hash__
+
 
 @dataclass
 class VerbStats:

@@ -48,6 +48,9 @@ _CSV_FIELDS = [
     "rejected_ops",
     "shed_ops",
     "slo_attainment",
+    # Engine speed (events per wall-second); 0.0 unless the harness
+    # timed the run (see repro.experiments.ext_engine).
+    "wall_steps_per_s",
 ]
 
 
@@ -88,6 +91,7 @@ def _row(key, result: RunResult) -> Dict[str, object]:
         "slo_attainment": (
             "" if result.slo_attainment is None else result.slo_attainment
         ),
+        "wall_steps_per_s": result.wall_steps_per_s,
     }
     if not isinstance(key, tuple):
         key = (key,)

@@ -18,27 +18,47 @@ Determinism: events scheduled for the same instant fire in scheduling order
 (a monotonically increasing sequence number breaks ties), so a seeded run is
 fully reproducible.
 
+Engine speed (docs/performance.md "engine profiling"): the queue is a
+two-lane calendar — a plain FIFO deque for events triggered *at the current
+instant* (zero delay: process bootstraps, ``succeed`` chains, RPC handoffs —
+the majority of all events) and a binary heap for everything in the future.
+Deque entries carry ``(sequence, event)``; because the clock only advances
+when the instant lane is dry, every deque entry's timestamp is exactly
+``now``, and comparing the deque front's sequence number against the heap
+front reproduces the global ``(time, sequence)`` order of a single heap
+while the common case pays ``append``/``popleft`` instead of two
+``O(log n)`` sift passes. Fired ``Event``/``Timeout``/``Condition`` objects
+whose last external reference died with their firing (checked with
+``sys.getrefcount`` — conservative: any surviving reference, e.g. a pending
+``any_of`` sibling or model code that kept the handle, keeps the object out
+of the pool) are recycled through per-simulator free-lists, so the
+steady-state hot path allocates no event objects at all.
+
 Schedule control: a :class:`Simulator` optionally carries a *scheduler* —
 any object with a ``choose(at, ready)`` method and an optional ``window``
-attribute (virtual seconds, default 0). Whenever two or more events are
-ready within ``window`` of the earliest queued event, the kernel hands the
-scheduler the ready list (in ``(time, sequence)`` order) and fires the
-entry whose index it returns; the rest stay queued and are offered again.
-Choosing a later entry *defers* the earlier ones — they fire after it, at
-an unchanged virtual timestamp (the clock never runs backwards; deferred
-events model scheduling jitter the fabric is allowed to exhibit). Nothing
-ever fires early, and an event is only ever queued once its causes have
-fired, so causal chains are preserved. With no scheduler attached (the
-default) the behavior is byte-identical to the plain heap order, and a
-scheduler with ``window == 0`` that returns ``0`` from ``choose``
-reproduces it. This is the hook the namsan schedule explorer
-(:mod:`repro.analysis.namsan.explore`) uses to enumerate interleavings of
-concurrent client processes at synchronization points.
+attribute (virtual seconds, default 0; sampled when the scheduler is
+attached). Whenever two or more events are ready within ``window`` of the
+earliest queued event, the kernel hands the scheduler the ready list (in
+``(time, sequence)`` order) and fires the entry whose index it returns; the
+rest stay queued and are offered again. Choosing a later entry *defers* the
+earlier ones — they fire after it, at an unchanged virtual timestamp (the
+clock never runs backwards; deferred events model scheduling jitter the
+fabric is allowed to exhibit). Nothing ever fires early, and an event is
+only ever queued once its causes have fired, so causal chains are
+preserved. With no scheduler attached (the default) the behavior is
+byte-identical to the plain heap order, and a scheduler with ``window == 0``
+that returns ``0`` from ``choose`` reproduces it. This is the hook the
+namsan schedule explorer (:mod:`repro.analysis.namsan.explore`) uses to
+enumerate interleavings of concurrent client processes at synchronization
+points. Attaching a scheduler flushes the instant lane into the heap and
+routes all queueing there, so ``choose`` always sees the complete ready set.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import SimulationError
@@ -55,6 +75,11 @@ __all__ = [
 ProcessGenerator = Generator["Event", Any, Any]
 
 _PENDING = object()
+
+#: Per-simulator free-list size cap (objects, per class). Big enough to
+#: absorb the burstiest fan-out in the experiment grids, small enough that
+#: an idle simulator pins a few KB at most.
+_POOL_CAP = 4096
 
 
 class Event:
@@ -94,7 +119,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with *value*."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event has already been triggered")
         self._value = value
         self.sim._queue_fire(self)
@@ -103,7 +128,7 @@ class Event:
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception, which will be re-raised in
         every process waiting on it."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event has already been triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("Event.fail() requires an exception instance")
@@ -163,9 +188,11 @@ class Process(Event):
         #: kernel never reads this — it only carries it.
         parent = sim._active
         self.span = parent.span if parent is not None else None
-        # Kick the process off at the current instant.
-        bootstrap = Event(sim)
-        bootstrap.add_callback(self._resume)
+        # Kick the process off at the current instant (the bootstrap event
+        # comes from the free-list when one is available).
+        free = sim._free_events
+        bootstrap = free.pop() if free else Event(sim)
+        bootstrap.callbacks.append(self._resume)
         bootstrap.succeed()
 
     def kill(self) -> None:
@@ -196,14 +223,15 @@ class Process(Event):
         sim = self.sim
         previous = sim._active
         sim._active = self
+        generator = self._generator
         try:
             while True:
                 try:
                     if fired._is_error:
                         fired._defused = True
-                        target = self._generator.throw(fired.value)
+                        target = generator.throw(fired.value)
                     else:
-                        target = self._generator.send(fired.value)
+                        target = generator.send(fired._value)
                 except StopIteration as stop:
                     self.succeed(stop.value)
                     return
@@ -222,7 +250,7 @@ class Process(Event):
                     # recursing (keeps deep chains iterative).
                     fired = target
                     continue
-                target.add_callback(self._resume)
+                target.callbacks.append(self._resume)
                 return
         finally:
             sim._active = previous
@@ -241,17 +269,22 @@ class Condition(Event):
 
     def __init__(self, sim: "Simulator", events: Iterable[Event], wait_all: bool) -> None:
         super().__init__(sim)
+        self._attach(events, wait_all)
+
+    def _attach(self, events: Iterable[Event], wait_all: bool) -> None:
+        """(Re)arm over *events* — shared by ``__init__`` and pool reuse."""
         self._events = list(events)
         self._wait_all = wait_all
         self._remaining = len(self._events)
         if not self._events:
             self.succeed([] if wait_all else None)
             return
+        on_child = self._on_child
         for event in self._events:
-            event.add_callback(self._on_child)
+            event.add_callback(on_child)
 
     def _on_child(self, child: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             if child._is_error:
                 child._defused = True
             return
@@ -261,7 +294,7 @@ class Condition(Event):
             return
         self._remaining -= 1
         if not self._wait_all:
-            self.succeed(child.value)
+            self.succeed(child._value)
         elif self._remaining == 0:
             self.succeed([event.value for event in self._events])
 
@@ -284,15 +317,22 @@ class Simulator:
 
     def __init__(self, scheduler: Optional[Any] = None) -> None:
         self.now: float = 0.0
+        #: Far lane: ``(time, sequence, event)`` entries with a positive
+        #: delay (and, while a scheduler is attached, *all* entries).
         self._heap: List[Any] = []
+        #: Instant lane: ``(sequence, event)`` entries triggered at the
+        #: current instant. Invariant: every entry's timestamp is exactly
+        #: ``now`` — the clock only advances once this lane is dry.
+        self._dq: "deque[Any]" = deque()
         self._sequence = 0
-        #: Optional tie-breaking policy: an object with
-        #: ``choose(at: float, ready: List[(at, seq, Event)]) -> int``,
-        #: consulted whenever >= 2 events are ready at the same instant.
-        #: ``ready`` is sorted by sequence number; index 0 reproduces the
-        #: default order. May be attached/detached at any point between
-        #: events (the explorer attaches it only around the concurrent
-        #: phase of a scenario). None = plain deterministic heap order.
+        self._scheduler: Optional[Any] = None
+        self._window = 0.0
+        #: Free-lists of fired, unreferenced event objects, reused by
+        #: :meth:`event`, :meth:`timeout`, :meth:`all_of`/:meth:`any_of`
+        #: and process bootstraps.
+        self._free_events: List[Event] = []
+        self._free_timeouts: List[Timeout] = []
+        self._free_conditions: List[Condition] = []
         self.scheduler = scheduler
         #: The :class:`Process` currently driving its generator, or None
         #: (between events, or while firing non-process callbacks). Spawned
@@ -313,12 +353,52 @@ class Simulator:
         """
         return self._sequence
 
+    @property
+    def scheduler(self) -> Optional[Any]:
+        """Optional tie-breaking policy: an object with
+        ``choose(at: float, ready: List[(at, seq, Event)]) -> int``,
+        consulted whenever >= 2 events are ready within its ``window`` of
+        the earliest one. ``ready`` is sorted by sequence number; index 0
+        reproduces the default order. May be attached/detached at any
+        point between events (the explorer attaches it only around the
+        concurrent phase of a scenario); the ``window`` attribute is
+        sampled at attach time. None = plain deterministic heap order.
+        """
+        return self._scheduler
+
+    @scheduler.setter
+    def scheduler(self, value: Optional[Any]) -> None:
+        self._scheduler = value
+        if value is None:
+            self._window = 0.0
+            return
+        self._window = getattr(value, "window", 0.0)
+        # Flush the instant lane so ``choose`` sees one complete ready
+        # set; while attached, _queue_fire routes everything to the heap.
+        dq = self._dq
+        heap = self._heap
+        now = self.now
+        while dq:
+            seq, event = dq.popleft()
+            heapq.heappush(heap, (now, seq, event))
+
     def event(self) -> Event:
         """A fresh untriggered event (a mailbox another process can fire)."""
+        free = self._free_events
+        if free:
+            return free.pop()
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing *delay* virtual seconds from now."""
+        free = self._free_timeouts
+        if free:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay!r}")
+            timeout = free.pop()
+            timeout._value = value
+            self._queue_fire(timeout, delay)
+            return timeout
         return Timeout(self, delay, value)
 
     def process(self, generator: ProcessGenerator) -> Process:
@@ -327,17 +407,60 @@ class Simulator:
 
     def all_of(self, events: Iterable[Event]) -> Condition:
         """Event firing once all *events* fired; value is their value list."""
+        free = self._free_conditions
+        if free:
+            condition = free.pop()
+            condition._attach(events, True)
+            return condition
         return Condition(self, events, wait_all=True)
 
     def any_of(self, events: Iterable[Event]) -> Condition:
         """Event firing once any of *events* fired."""
+        free = self._free_conditions
+        if free:
+            condition = free.pop()
+            condition._attach(events, False)
+            return condition
         return Condition(self, events, wait_all=False)
 
     # -- scheduling & the loop ---------------------------------------------
 
     def _queue_fire(self, event: Event, delay: float = 0.0) -> None:
-        self._sequence += 1
-        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+        seq = self._sequence + 1
+        self._sequence = seq
+        if delay == 0.0 and self._scheduler is None:
+            self._dq.append((seq, event))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, seq, event))
+
+    def _recycle(self, event: Event) -> None:
+        """Pool *event* for reuse if its firing dropped the last reference.
+
+        Called right after ``event._fire()`` with exactly two references
+        alive (the caller's local + the refcount probe's argument): any
+        additional reference — model code that kept the handle, a pending
+        ``any_of`` sibling's callback, a heap entry — keeps the object out
+        of the pool, so recycling is conservative and invisible. Only the
+        three concrete high-churn classes are pooled; a :class:`Process`
+        owns a generator and is never reused.
+        """
+        cls = event.__class__
+        if cls is Timeout:
+            pool = self._free_timeouts
+        elif cls is Event:
+            pool = self._free_events
+        elif cls is Condition:
+            pool = self._free_conditions
+            event._events = ()
+            event._remaining = 0
+        else:
+            return
+        if len(pool) < _POOL_CAP:
+            event.callbacks = []
+            event._value = _PENDING
+            event._is_error = False
+            event._defused = False
+            pool.append(event)
 
     def _pop_choice(self, at: float, until: Optional[float] = None) -> Any:
         """Pop the next entry to fire, letting the attached scheduler pick
@@ -346,14 +469,22 @@ class Simulator:
         back and offered again at the next step, so one ``choose`` call
         resolves one firing, not the whole group."""
         heap = self._heap
-        limit = at + getattr(self.scheduler, "window", 0.0)
+        limit = at + self._window
         if until is not None and limit > until:
             limit = until
+        # Fast path: the root's children (the only candidates for the
+        # second-earliest entry) are both beyond the window, so exactly
+        # one entry is ready — no list, no ``choose`` call.
+        size = len(heap)
+        if size == 1 or (
+            heap[1][0] > limit and (size < 3 or heap[2][0] > limit)
+        ):
+            return heapq.heappop(heap)
         ready = [heapq.heappop(heap)]
         while heap and heap[0][0] <= limit:
             ready.append(heapq.heappop(heap))
         if len(ready) > 1:
-            index = self.scheduler.choose(at, ready)
+            index = self._scheduler.choose(at, ready)
             if not 0 <= index < len(ready):
                 index = 0
         else:
@@ -369,21 +500,40 @@ class Simulator:
         When stopped by *until*, the clock is set exactly to *until* and any
         events scheduled later stay queued (``run`` may be called again).
         """
+        dq = self._dq
         heap = self._heap
-        while heap:
-            at, _seq, event = heap[0]
-            if until is not None and at > until:
-                self.now = until
-                return
-            if self.scheduler is None:
-                heapq.heappop(heap)
-                self.now = at
+        pop = heapq.heappop
+        while dq or heap:
+            if self._scheduler is None:
+                if dq and (
+                    not heap
+                    or heap[0][0] > self.now
+                    or heap[0][1] > dq[0][0]
+                ):
+                    if until is not None and self.now > until:
+                        self.now = until
+                        return
+                    event = dq.popleft()[1]
+                else:
+                    at = heap[0][0]
+                    if until is not None and at > until:
+                        self.now = until
+                        return
+                    event = pop(heap)[2]
+                    self.now = at
             else:
+                at = heap[0][0]
+                if until is not None and at > until:
+                    self.now = until
+                    return
                 at, _seq, event = self._pop_choice(at, until)
                 # A deferred entry may carry a timestamp the clock already
                 # passed; it fires late, the clock never runs backwards.
-                self.now = max(self.now, at)
+                if at > self.now:
+                    self.now = at
             event._fire()
+            if getrefcount(event) == 2:
+                self._recycle(event)
         if until is not None and until > self.now:
             self.now = until
 
@@ -394,20 +544,37 @@ class Simulator:
         deadlock in model code), or re-raises the event's exception if it
         failed.
         """
+        dq = self._dq
         heap = self._heap
-        while not target.triggered:
-            if not heap:
-                raise SimulationError(
-                    "event queue drained before the awaited event fired "
-                    "(model deadlock?)"
-                )
-            if self.scheduler is None:
-                at, _seq, event = heapq.heappop(heap)
-                self.now = at
+        pop = heapq.heappop
+        while target._value is _PENDING:
+            if self._scheduler is None:
+                if dq and (
+                    not heap
+                    or heap[0][0] > self.now
+                    or heap[0][1] > dq[0][0]
+                ):
+                    event = dq.popleft()[1]
+                elif heap:
+                    at, _seq, event = pop(heap)
+                    self.now = at
+                else:
+                    raise SimulationError(
+                        "event queue drained before the awaited event fired "
+                        "(model deadlock?)"
+                    )
             else:
+                if not heap and not dq:
+                    raise SimulationError(
+                        "event queue drained before the awaited event fired "
+                        "(model deadlock?)"
+                    )
                 at, _seq, event = self._pop_choice(heap[0][0])
-                self.now = max(self.now, at)
+                if at > self.now:
+                    self.now = at
             event._fire()
+            if getrefcount(event) == 2:
+                self._recycle(event)
         if target._is_error:
             target._defused = True
             raise target.value

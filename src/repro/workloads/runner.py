@@ -131,6 +131,7 @@ class WorkloadRunner:
         seed: int = 1,
         populations: Optional[Sequence[Tuple[WorkloadSpec, int]]] = None,
         keep_records: bool = False,
+        ops_per_client: Optional[int] = None,
     ) -> RunResult:
         """Execute a workload with closed-loop clients.
 
@@ -146,6 +147,12 @@ class WorkloadRunner:
         ``(op_type, start, end)`` triples of *every* operation (including
         warm-up and drain) in :attr:`RunResult.raw_records` — availability
         experiments slice them into time buckets around a crash.
+
+        ``ops_per_client`` switches from the timed window to a *fixed
+        work* run: every client executes exactly that many operations and
+        the measurement window spans the whole run (``warmup_s`` /
+        ``measure_s`` are ignored). Deterministic total work makes runs
+        comparable by wall clock — the engine benchmark's mode.
         """
         if populations is None:
             if spec is None or num_clients is None:
@@ -167,7 +174,10 @@ class WorkloadRunner:
                 session = index.session(compute_server)
                 rng = np.random.default_rng((seed, client_id))
                 proc = self.cluster.spawn(
-                    self._client_loop(client_id, session, client_spec, rng, state)
+                    self._client_loop(
+                        client_id, session, client_spec, rng, state,
+                        max_ops=ops_per_client,
+                    )
                 )
                 client_procs.append(proc)
                 if self.cluster.fault_injector is not None:
@@ -180,18 +190,31 @@ class WorkloadRunner:
         )
         num_clients = total_clients
 
-        controller = self.cluster.spawn(
-            self._controller(state, warmup_s, measure_s)
-        )
-        counters = self.cluster.sim.run_until_complete(controller)
-        self.cluster.sim.run_until_complete(self.cluster.sim.all_of(client_procs))
-
-        window_end = state.measure_from + measure_s
+        if ops_per_client is not None:
+            # Fixed-work mode: the window is the whole run, edge to edge.
+            baseline = self.cluster.reset_measurement()
+            state.measure_from = self.cluster.now
+            self.cluster.sim.run_until_complete(
+                self.cluster.sim.all_of(client_procs)
+            )
+            counters = self.cluster.measurement_delta(baseline)
+            window_s = self.cluster.now - state.measure_from
+            window_end = self.cluster.now
+        else:
+            controller = self.cluster.spawn(
+                self._controller(state, warmup_s, measure_s)
+            )
+            counters = self.cluster.sim.run_until_complete(controller)
+            self.cluster.sim.run_until_complete(
+                self.cluster.sim.all_of(client_procs)
+            )
+            window_s = measure_s
+            window_end = state.measure_from + measure_s
         result = RunResult(
             design=index.design,
             workload=workload_name,
             num_clients=num_clients,
-            window_s=measure_s,
+            window_s=window_s,
             network=counters["network"],
             cpu_utilization=counters["cpu"],
         )
@@ -239,11 +262,17 @@ class WorkloadRunner:
         spec: WorkloadSpec,
         rng: np.random.Generator,
         state: _ClientState,
+        max_ops: Optional[int] = None,
     ) -> Generator[Any, Any, None]:
         drawer = OpDrawer(spec, self.dataset, rng, state, client_id)
         sim = self.cluster.sim
         obs = self.cluster.obs
+        remaining = max_ops
         while not state.stop:
+            if remaining is not None:
+                if remaining == 0:
+                    return
+                remaining -= 1
             op_kind, op = drawer.next_op()
             start = sim.now
             # The op's final classification is only known after the fact

@@ -14,6 +14,7 @@ from repro.experiments import (
     ablation_srq,
     ext_cache_depth,
     ext_caching_strategies,
+    ext_engine,
     ext_page_size,
     ext_request_skew,
     fig03_analytical,
@@ -164,6 +165,34 @@ def test_ext_page_size(capsys):
     assert len(results) == 2 * len(ext_page_size.PAGE_SIZES)
     ext_page_size.print_figure(results)
     assert "page-size" in capsys.readouterr().out
+
+
+def test_ext_engine(capsys):
+    scale = ext_engine.EngineScale(
+        num_keys=1_500,
+        num_memory_servers=4,
+        num_clients=8,
+        ops_per_client=10,
+        reps=1,
+    )
+    cells = ext_engine.run(scale=scale)
+    assert len(cells) == 12  # designs x batching x observability
+    assert all(cell.sim_steps > 0 and cell.wall_s > 0 for cell in cells)
+    payload = ext_engine.results_to_json(cells)
+    assert {
+        "workload",
+        "cells",
+        "wall_steps_per_s",
+        "obs_wall_steps_per_s",
+        "fine_grained_batched_wall_steps_per_s",
+    } <= set(payload)
+    # Self-comparison: every deterministic gate is clean by construction;
+    # at one rep of ten ops only the wall-noise batched/unbatched ratio
+    # may trip.
+    failures = ext_engine.check_against_baseline(cells, payload)
+    assert all("wall-step throughput" in failure for failure in failures)
+    ext_engine.print_figure(cells)
+    assert "engine speed" in capsys.readouterr().out
 
 
 def test_ablation_insert_contention(capsys):

@@ -108,6 +108,9 @@ class _FakeNode:
         self.level = level
         self.version = version
 
+    def clone(self):
+        return _FakeNode(self.level, self.version)
+
 
 def test_lru_eviction_order():
     from repro.index.caching import RemoteCache

@@ -50,6 +50,65 @@ def test_u64_wraps_at_64_bits():
     assert region.read_u64(0) == 5
 
 
+class TestReadView:
+    """The zero-copy view path behind the engine's fast READ."""
+
+    def test_view_is_readonly_and_aliases_live_buffer(self):
+        region = MemoryRegion(1024, 4096)
+        region.write(100, b"hello")
+        view = region.read_view(100, 5)
+        assert isinstance(view, memoryview)
+        assert view.readonly
+        assert bytes(view) == b"hello"
+        # No copy was taken: a later write shows through the same view.
+        region.write(100, b"world")
+        assert bytes(view) == b"world"
+        view.release()
+
+    def test_view_never_copies_large_reads(self):
+        # Equality with read() proves content; identity of the underlying
+        # buffer proves zero-copy (obj is the region's own bytearray).
+        region = MemoryRegion(1 << 16, 1 << 20)
+        region.write(4096, bytes(range(256)) * 2)
+        view = region.read_view(4096, 512)
+        assert bytes(view) == region.read(4096, 512)
+        assert view.obj is region._buf
+        view.release()
+
+    def test_live_caller_view_blocks_growth(self):
+        region = MemoryRegion(64, 1 << 22)
+        view = region.read_view(0, 16)
+        with pytest.raises(BufferError):
+            region.write(1 << 20, b"grow")
+        # Dropping the view unblocks growth (the cached master is
+        # released internally; only caller-held slices pin the buffer).
+        view.release()
+        region.write(1 << 20, b"grow")
+        assert region.read(1 << 20, 4) == b"grow"
+
+    def test_internal_master_view_does_not_block_growth(self):
+        # read()/read_view() build a cached master view internally; that
+        # cache alone must never prevent the region from growing.
+        region = MemoryRegion(64, 1 << 22)
+        assert region.read(0, 8) == bytes(8)
+        bytes(region.read_view(0, 8))
+        region.write(1 << 20, b"ok")
+        assert region.read(1 << 20, 2) == b"ok"
+
+    def test_view_extends_region_like_read(self):
+        region = MemoryRegion(16, 4096)
+        view = region.read_view(0, 64)  # past the end: zero-filled growth
+        assert bytes(view) == bytes(64)
+        assert len(region) >= 64
+
+    def test_negative_view_rejected(self):
+        region = MemoryRegion(16, 1024)
+        with pytest.raises(RemoteAccessError):
+            region.read_view(-1, 4)
+        with pytest.raises(RemoteAccessError):
+            region.read_view(0, -4)
+
+
 class TestAtomics:
     def test_cas_success(self):
         region = MemoryRegion(64, 1024)

@@ -98,6 +98,20 @@ class TestCsv:
         assert int(row["shed_ops"]) == result.shed_ops == 30
         assert float(row["slo_attainment"]) == result.slo_attainment == 0.5
 
+    def test_wall_steps_per_s_round_trips(self, tmp_path):
+        # The engine benchmark stamps host speed onto its results; the
+        # column must survive a write/parse cycle exactly, and stay 0.0
+        # (not empty) for untimed runs so downstream joins never see NaN.
+        timed = make_result()
+        timed.wall_steps_per_s = 123456.75
+        untimed = make_result(design="hybrid")
+        path = tmp_path / "engine.csv"
+        write_csv({("t",): timed, ("u",): untimed}, str(path))
+        with open(path, newline="") as handle:
+            rows = {row["key_0"]: row for row in csv.DictReader(handle)}
+        assert float(rows["t"]["wall_steps_per_s"]) == 123456.75
+        assert float(rows["u"]["wall_steps_per_s"]) == 0.0
+
     def test_closed_loop_rows_export_accepted_equals_total(self):
         # Closed-loop runs never reject or shed; accepted aliases total
         # and the SLO column stays an empty cell, not a fake 1.0.
