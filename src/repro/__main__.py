@@ -91,6 +91,8 @@ _TABLE = [
                "ext_verb_batching", style="extension"),
     Experiment("overload", "Extension: flash-crowd overload & admission",
                "ext_overload", style="extension"),
+    Experiment("tail", "Extension: critical-path tail-latency attribution",
+               "ext_tail_attribution", style="extension"),
     Experiment("engine", "Extension: engine wall-clock speed (host-side)",
                "ext_engine", style="extension"),
 ]

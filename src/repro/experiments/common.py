@@ -8,7 +8,9 @@ single entry point all figures use.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.config import ClusterConfig, ObservabilityConfig
 from repro.errors import ConfigurationError
@@ -29,7 +31,14 @@ from repro.workloads import (
 )
 from repro.experiments.scale import ExperimentScale, measure_window
 
-__all__ = ["DESIGNS", "build_cluster", "build_index", "run_cell", "format_rate"]
+__all__ = [
+    "DESIGNS",
+    "build_cluster",
+    "build_index",
+    "run_cell",
+    "format_rate",
+    "write_obs_artifacts",
+]
 
 DESIGNS = {
     "coarse-grained": CoarseGrainedIndex,
@@ -129,6 +138,40 @@ def run_cell(
         measure_s=measure_window(scale, spec.selectivity if spec.range_fraction else 0),
         seed=scale.seed,
     )
+
+
+def write_obs_artifacts(
+    snapshot: Optional[Mapping[str, Any]], out_dir: Path, label: str
+) -> Path:
+    """Dump one cell's observability *snapshot* as CI-uploadable files.
+
+    Writes ``<out_dir>/<label>/`` containing the full snapshot, a Chrome
+    trace (``chrome://tracing`` / Perfetto), and each flight-recorder
+    bundle as its own ``flight-NN.json`` — the forensics CI attaches when
+    a chaos or overload job fails (docs/observability.md). Tolerates a
+    ``None`` snapshot (observability off) by writing an empty marker so
+    the upload step always has a directory.
+    """
+    from repro.obs.export import chrome_trace
+
+    cell_dir = out_dir / label
+    cell_dir.mkdir(parents=True, exist_ok=True)
+    if snapshot is None:
+        (cell_dir / "no-observability.txt").write_text(
+            "cell ran with observability disabled; no snapshot captured\n"
+        )
+        return cell_dir
+    (cell_dir / "snapshot.json").write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True)
+    )
+    (cell_dir / "trace.json").write_text(
+        json.dumps(chrome_trace(snapshot), sort_keys=True)
+    )
+    for index, bundle in enumerate(snapshot.get("flight", {}).get("dumps", [])):
+        (cell_dir / f"flight-{index:02d}.json").write_text(
+            json.dumps(bundle, indent=2, sort_keys=True)
+        )
+    return cell_dir
 
 
 def format_rate(ops_per_s: float) -> str:

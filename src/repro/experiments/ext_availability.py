@@ -27,10 +27,17 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.config import ClusterConfig
-from repro.experiments.common import DESIGNS, build_index, format_rate, print_table
+from repro.config import ClusterConfig, ObservabilityConfig
+from repro.experiments.common import (
+    DESIGNS,
+    build_index,
+    format_rate,
+    print_table,
+    write_obs_artifacts,
+)
 from repro.experiments.scale import DEFAULT, SMALL, ExperimentScale
 from repro.index.verify import VerifyReport, verify_index
 from repro.nam.cluster import Cluster
@@ -117,8 +124,22 @@ def _healthy_throughput(
 
 
 def _availability_cell(
-    design: str, scale: ExperimentScale, num_clients: int, seed: int
+    design: str,
+    scale: ExperimentScale,
+    num_clients: int,
+    seed: int,
+    artifacts: Optional[Path] = None,
 ) -> Tuple[float, float, float, int, Dict[str, int], VerifyReport]:
+    # Observability is attached only when a CI artifacts dir is requested;
+    # the simulation is byte-identical either way (the instrumentation
+    # never schedules events), so measurements are unaffected.
+    obs_config = (
+        ObservabilityConfig(
+            enabled=True, timeseries_cadence_s=scale.measure_s / 4.0
+        )
+        if artifacts is not None
+        else ObservabilityConfig()
+    )
     dataset = generate_dataset(scale.num_keys, scale.gap)
     config = ClusterConfig(
         num_memory_servers=scale.num_memory_servers,
@@ -127,6 +148,7 @@ def _availability_cell(
         ),
         replication_factor=2,
         seed=seed,
+        observability=obs_config,
     )
     cluster = Cluster(config)
     index = build_index(cluster, design, dataset)
@@ -170,6 +192,14 @@ def _availability_cell(
             break
 
     report = verify_index(cluster, index)
+    if artifacts is not None:
+        # Snapshot after the verifier so a verifier-failure flight dump
+        # (and the crash/restart fault events) land in the bundle.
+        write_obs_artifacts(
+            cluster.obs.snapshot() if cluster.obs is not None else None,
+            artifacts,
+            f"availability-{design}",
+        )
     errored = sum(result.errors.values())
     stats = dict(cluster.replication.stats)
     return pre_rate, dip, recovery, errored, stats, report
@@ -179,13 +209,14 @@ def run(
     scale: ExperimentScale = DEFAULT,
     num_clients: int = 40,
     seed: Optional[int] = None,
+    artifacts: Optional[Path] = None,
 ) -> Dict[str, AvailabilityResult]:
     """Run the availability + overhead grid; returns per-design results."""
     seed = scale.seed if seed is None else seed
     results: Dict[str, AvailabilityResult] = {}
     for design in DESIGNS:
         pre, dip, recovery, errored, stats, report = _availability_cell(
-            design, scale, num_clients, seed
+            design, scale, num_clients, seed, artifacts=artifacts
         )
         results[design] = AvailabilityResult(
             design=design,
@@ -264,10 +295,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="tiny CI grid; exit non-zero on any verifier violation",
     )
+    parser.add_argument(
+        "--artifacts",
+        type=Path,
+        default=None,
+        help="run with observability on and write per-cell flight bundles"
+        " + Chrome traces into this dir (for CI failure uploads)",
+    )
     args = parser.parse_args(argv)
     scale = SMOKE if args.smoke else (SMALL if args.small else DEFAULT)
     num_clients = 15 if args.smoke else 40
-    results = run(scale=scale, num_clients=num_clients, seed=args.seed)
+    results = run(
+        scale=scale, num_clients=num_clients, seed=args.seed,
+        artifacts=args.artifacts,
+    )
     print_figure(results)
     failed = False
     for design, cell in results.items():

@@ -41,7 +41,12 @@ from repro.config import (
     CpuConfig,
     ObservabilityConfig,
 )
-from repro.experiments.common import build_index, format_rate, print_table
+from repro.experiments.common import (
+    build_index,
+    format_rate,
+    print_table,
+    write_obs_artifacts,
+)
 from repro.experiments.scale import ExperimentScale
 from repro.nam.cluster import Cluster
 from repro.workloads import (
@@ -269,6 +274,7 @@ def _measure_cell(
     capacity: float,
     scale: ExperimentScale,
     seed: int,
+    artifacts: Optional[Path] = None,
 ) -> OverloadCell:
     dataset = generate_dataset(scale.num_keys, scale.gap)
     cluster = Cluster(_cluster_config(policy, capacity, scale, seed))
@@ -282,6 +288,10 @@ def _measure_cell(
         measure_s=scale.measure_s,
         seed=seed,
     )
+    if artifacts is not None:
+        write_obs_artifacts(
+            result.observability, artifacts, f"overload-{policy}-{load}"
+        )
     all_latencies = [
         latency
         for outcome in result.tenants.values()
@@ -316,6 +326,7 @@ def run(
     scale: ExperimentScale = DEFAULT_SCALE,
     seed: Optional[int] = None,
     loads: Optional[Tuple[str, ...]] = None,
+    artifacts: Optional[Path] = None,
 ) -> Dict[str, OverloadCell]:
     """Measure the policy x offered-load grid; keyed by ``policy/load``."""
     seed = scale.seed if seed is None else seed
@@ -325,7 +336,9 @@ def run(
     results: Dict[str, OverloadCell] = {}
     for policy in POLICIES:
         for load in loads:
-            cell = _measure_cell(policy, load, capacity, scale, seed)
+            cell = _measure_cell(
+                policy, load, capacity, scale, seed, artifacts=artifacts
+            )
             results[cell.key] = cell
     return results
 
@@ -483,11 +496,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="write this run's numbers as the new baseline",
     )
+    parser.add_argument(
+        "--artifacts",
+        type=Path,
+        default=None,
+        help="write per-cell flight bundles + Chrome traces into this dir"
+        " (for CI failure uploads)",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
-        results = run(scale=SMOKE, seed=args.seed, loads=SMOKE_LOADS)
+        results = run(
+            scale=SMOKE, seed=args.seed, loads=SMOKE_LOADS,
+            artifacts=args.artifacts,
+        )
     else:
-        results = run(seed=args.seed)
+        results = run(seed=args.seed, artifacts=args.artifacts)
     print_figure(results)
     payload = results_to_json(results)
     if args.json is not None:

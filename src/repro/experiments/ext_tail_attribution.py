@@ -1,0 +1,513 @@
+"""Extension: where does the tail go? Critical-path latency attribution.
+
+The paper's latency analysis (Section 2.3, Figures 13/14) reports *how
+long* operations take per design; this harness reports *where that time
+goes* — and, more to the point, where the **p99 tail** spends time that
+the median op does not. Each cell runs an open-loop single-tenant
+workload against one traversal design with observability enabled, then
+post-processes the retained span trees through
+:mod:`repro.obs.attribution` into the closed segment taxonomy
+(``nic_queue``, ``network_flight``, ``server_rpc_queue``, ``server_cpu``,
+``lock_wait``, ``client_backoff``, ``admission_reject``,
+``client_think``).
+
+Grid: design (coarse-grained / fine-grained / hybrid) x request skew
+(uniform / zipf) x load phase (steady / flash crowd). Admission control
+is enabled, so the flash cells exercise the rejection segment, tenant
+SLO violations feed the flight recorder, and the per-server time series
+capture the burst. The headline: steady-state attribution is dominated
+by wire flight, while the flash-crowd tail shifts toward queueing
+segments — per design, the decomposition names the bottleneck the
+design's own tradeoffs predict.
+
+Doubles as the tail-smoke regression gate: ``--check BASELINE`` compares
+goodput per cell (tolerance ``TOLERANCE``) and re-asserts structural
+invariants — every cell retains spans, every attribution reconciles
+(shares sum to 1), flash cells record flight activity.
+
+Run with ``python -m repro.experiments.ext_tail_attribution``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.config import (
+    AdmissionConfig,
+    ClusterConfig,
+    CpuConfig,
+    ObservabilityConfig,
+)
+from repro.experiments.common import (
+    build_index,
+    format_rate,
+    print_table,
+    write_obs_artifacts,
+)
+from repro.experiments.scale import ExperimentScale
+from repro.nam.cluster import Cluster
+from repro.obs.attribution import (
+    SEGMENTS,
+    aggregate_attributions,
+    attribute_span_dict,
+)
+from repro.workloads import (
+    ArrivalProcess,
+    OpenLoopRunner,
+    TenantSpec,
+    WorkloadRunner,
+    WorkloadSpec,
+    generate_dataset,
+)
+
+__all__ = [
+    "TailCell",
+    "DESIGNS",
+    "SKEWS",
+    "PHASES",
+    "run",
+    "measure_capacity",
+    "results_to_json",
+    "check_against_baseline",
+    "print_figure",
+    "main",
+    "TOLERANCE",
+    "SHARE_SUM_TOLERANCE",
+]
+
+DESIGNS: Tuple[str, ...] = ("coarse-grained", "fine-grained", "hybrid")
+#: Request-key distributions (WorkloadSpec.distribution values).
+SKEWS: Dict[str, str] = {"uniform": "uniform", "zipf": "scrambled_zipfian"}
+#: Offered load as a multiple of measured closed-loop capacity. The flash
+#: phase offers the steady base rate times a burst multiplier that covers
+#: the whole window — a sustained flash crowd.
+PHASES: Dict[str, float] = {"steady": 0.6, "flash": 3.0}
+
+#: Allowed per-cell goodput regression vs the committed baseline.
+TOLERANCE = 0.20
+#: Attribution shares must sum to 1 within this (they reconcile exactly in
+#: seconds; normalization only divides by the same duration).
+SHARE_SUM_TOLERANCE = 1e-6
+
+#: Single tenant: its p99 SLO (drives derive_slow_from_slo thresholds and
+#: flight-recorder slo-violation dumps) and its admission allowance as a
+#: fraction of capacity — above steady load, below the flash crowd.
+SLO_P99_S = 150e-6
+ADMIT_FRACTION = 1.2
+
+CORES_PER_SERVER = 2
+PROBE_CLIENTS = 64
+
+DEFAULT_SCALE = ExperimentScale(
+    num_keys=8_000,
+    num_memory_servers=2,
+    memory_servers_per_machine=2,
+    warmup_s=0.001,
+    measure_s=0.004,
+)
+
+#: Tiny grid for the CI tail-smoke job: zipf only, all designs, both
+#: phases (the skew axis is the least load-bearing for the gate).
+SMOKE = ExperimentScale(
+    num_keys=4_000,
+    num_memory_servers=2,
+    memory_servers_per_machine=2,
+    warmup_s=0.0005,
+    measure_s=0.002,
+)
+
+SMOKE_SKEWS: Tuple[str, ...] = ("zipf",)
+
+
+@dataclass
+class TailCell:
+    """One (design, skew, phase) attributed open-loop measurement."""
+
+    design: str
+    skew: str
+    phase: str
+    load_multiple: float
+    capacity_ops_s: float
+    offered_ops: int
+    accepted_ops: int
+    rejected_ops: int
+    errored_ops: int
+    goodput_ops_s: float
+    p50_s: float
+    p99_s: float
+    #: Spans retained by sampling + the slow-op hook (attribution input).
+    retained_ops: int
+    #: Mean attribution share per segment: typical ops (fastest half) and
+    #: tail ops (slowest 1%, at least one).
+    p50_share: Dict[str, float] = field(default_factory=dict)
+    p99_share: Dict[str, float] = field(default_factory=dict)
+    #: The tail's dominant segment (largest p99 share).
+    tail_top_segment: str = ""
+    flight_dumps: int = 0
+    flight_dumps_suppressed: int = 0
+    timeseries_points: int = 0
+
+    @property
+    def key(self) -> str:
+        return cell_key(self.design, self.skew, self.phase)
+
+    @property
+    def goodput_fraction(self) -> float:
+        if self.capacity_ops_s <= 0:
+            return 0.0
+        return self.goodput_ops_s / self.capacity_ops_s
+
+
+def cell_key(design: str, skew: str, phase: str) -> str:
+    return f"{design}/{skew}/{phase}"
+
+
+def _cluster_config(
+    capacity: float, scale: ExperimentScale, seed: int
+) -> ClusterConfig:
+    per_server = ADMIT_FRACTION * capacity / scale.num_memory_servers
+    return ClusterConfig(
+        num_memory_servers=scale.num_memory_servers,
+        memory_servers_per_machine=min(
+            scale.memory_servers_per_machine, scale.num_memory_servers
+        ),
+        seed=seed,
+        cpu=CpuConfig(cores_per_server=CORES_PER_SERVER),
+        admission=AdmissionConfig(
+            enabled=True,
+            max_queue_depth=16,
+            tenant_rate_ops={"app": per_server},
+            tenant_burst_ops=32.0,
+        ),
+        observability=ObservabilityConfig(
+            enabled=True,
+            sample_every=8,
+            timeseries_cadence_s=scale.measure_s / 16.0,
+            derive_slow_from_slo=True,
+        ),
+    )
+
+
+def measure_capacity(
+    design: str, scale: ExperimentScale, seed: int
+) -> float:
+    """Closed-loop saturation throughput of *design* at this shape (the
+    open-loop cells' calibration reference; see ext_overload)."""
+    dataset = generate_dataset(scale.num_keys, scale.gap)
+    config = ClusterConfig(
+        num_memory_servers=scale.num_memory_servers,
+        memory_servers_per_machine=min(
+            scale.memory_servers_per_machine, scale.num_memory_servers
+        ),
+        seed=seed,
+        cpu=CpuConfig(cores_per_server=CORES_PER_SERVER),
+    )
+    cluster = Cluster(config)
+    index = build_index(cluster, design, dataset)
+    runner = WorkloadRunner(cluster, dataset)
+    result = runner.run(
+        index,
+        WorkloadSpec(name="capacity-probe", point_fraction=1.0),
+        num_clients=PROBE_CLIENTS,
+        warmup_s=scale.warmup_s,
+        measure_s=scale.measure_s,
+        seed=seed,
+    )
+    return result.throughput
+
+
+def _tenant(capacity: float, skew: str, phase: str) -> TenantSpec:
+    base_rate = PHASES["steady"] * capacity
+    multiplier = PHASES[phase] / PHASES["steady"]
+    if multiplier > 1.0:
+        arrivals = ArrivalProcess(
+            rate_ops_per_s=base_rate,
+            burst_multiplier=multiplier,
+            burst_start_s=0.0,
+            burst_duration_s=1.0,
+        )
+    else:
+        arrivals = ArrivalProcess(rate_ops_per_s=base_rate)
+    return TenantSpec(
+        name="app",
+        # 5% inserts keep lock traffic (and the lock_wait segment) alive.
+        workload=WorkloadSpec(
+            name=f"tail-{skew}",
+            point_fraction=0.95,
+            insert_fraction=0.05,
+            distribution=SKEWS[skew],
+        ),
+        arrivals=arrivals,
+        slo_p99_s=SLO_P99_S,
+        max_op_retries=1,
+        sessions=16,
+    )
+
+
+def _attribution_summary(snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    """Typical-vs-tail attribution shares over a snapshot's retained spans."""
+    seen: set = set()
+    attributed: List[Tuple[float, Dict[str, float]]] = []
+    for group in ("sampled_spans", "slow_spans"):
+        for span in snapshot.get(group, []):
+            if span["op_id"] in seen:
+                continue
+            seen.add(span["op_id"])
+            finished = span["finished_at"]
+            if finished is None:
+                finished = span["started_at"]
+            attributed.append(
+                (finished - span["started_at"], attribute_span_dict(span))
+            )
+    attributed.sort(key=lambda item: item[0])
+    if not attributed:
+        return {"retained": 0, "p50_share": {}, "p99_share": {}, "top": ""}
+    typical = attributed[: max(1, len(attributed) // 2)]
+    tail = attributed[-max(1, len(attributed) // 100):]
+    p50 = aggregate_attributions(attr for _d, attr in typical)
+    p99 = aggregate_attributions(attr for _d, attr in tail)
+    top = max(SEGMENTS, key=lambda label: p99[label])
+    return {"retained": len(attributed), "p50_share": p50,
+            "p99_share": p99, "top": top}
+
+
+def _measure_cell(
+    design: str,
+    skew: str,
+    phase: str,
+    capacity: float,
+    scale: ExperimentScale,
+    seed: int,
+    artifacts: Optional[Path] = None,
+) -> TailCell:
+    dataset = generate_dataset(scale.num_keys, scale.gap)
+    cluster = Cluster(_cluster_config(capacity, scale, seed))
+    index = build_index(cluster, design, dataset)
+    runner = OpenLoopRunner(cluster, dataset)
+    result = runner.run(
+        index,
+        [_tenant(capacity, skew, phase)],
+        warmup_s=scale.warmup_s,
+        measure_s=scale.measure_s,
+        seed=seed,
+    )
+    snapshot = result.observability
+    summary = _attribution_summary(snapshot)
+    flight = snapshot.get("flight", {})
+    latencies = [
+        latency
+        for outcome in result.tenants.values()
+        for latency in outcome.latencies
+    ]
+    cell = TailCell(
+        design=design,
+        skew=skew,
+        phase=phase,
+        load_multiple=PHASES[phase],
+        capacity_ops_s=capacity,
+        offered_ops=result.offered_ops,
+        accepted_ops=result.accepted_ops,
+        rejected_ops=result.rejected_ops,
+        errored_ops=result.errored_ops,
+        goodput_ops_s=result.goodput,
+        p50_s=float(np.percentile(latencies, 50)) if latencies else 0.0,
+        p99_s=float(np.percentile(latencies, 99)) if latencies else 0.0,
+        retained_ops=summary["retained"],
+        p50_share=summary["p50_share"],
+        p99_share=summary["p99_share"],
+        tail_top_segment=summary["top"],
+        flight_dumps=len(flight.get("dumps", [])),
+        flight_dumps_suppressed=flight.get("dumps_suppressed", 0),
+        timeseries_points=sum(
+            len(series["points"]) for series in snapshot.get("timeseries", [])
+        ),
+    )
+    if artifacts is not None:
+        write_obs_artifacts(snapshot, artifacts, cell.key.replace("/", "-"))
+    return cell
+
+
+def run(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    seed: Optional[int] = None,
+    skews: Optional[Tuple[str, ...]] = None,
+    artifacts: Optional[Path] = None,
+) -> Dict[str, TailCell]:
+    """Measure the design x skew x phase grid; keyed by ``design/skew/phase``."""
+    seed = scale.seed if seed is None else seed
+    if skews is None:
+        skews = tuple(SKEWS)
+    results: Dict[str, TailCell] = {}
+    for design in DESIGNS:
+        capacity = measure_capacity(design, scale, seed)
+        for skew in skews:
+            for phase in PHASES:
+                cell = _measure_cell(
+                    design, skew, phase, capacity, scale, seed,
+                    artifacts=artifacts,
+                )
+                results[cell.key] = cell
+    return results
+
+
+def results_to_json(results: Dict[str, TailCell]) -> Dict:
+    """A JSON-serializable snapshot (the BENCH_tail.json payload)."""
+    return {
+        "segments": list(SEGMENTS),
+        "cells": {key: asdict(cell) for key, cell in results.items()},
+    }
+
+
+def check_against_baseline(
+    results: Dict[str, TailCell], baseline: Dict
+) -> List[str]:
+    """Regression failures of *results* vs a committed *baseline* payload.
+
+    Gates per-cell goodput (tolerance ``TOLERANCE``) and re-asserts the
+    structural invariants the attribution stack promises: every cell
+    retains spans, every reported share vector sums to 1, and the flash
+    cells actually exercised the flight recorder.
+    """
+    failures: List[str] = []
+    base_cells = baseline.get("cells", {})
+    for key, cell in results.items():
+        base = base_cells.get(key)
+        if base is None:
+            failures.append(f"{key}: missing from baseline")
+            continue
+        reference = base.get("goodput_ops_s", 0.0)
+        if reference > 0 and cell.goodput_ops_s < (1.0 - TOLERANCE) * reference:
+            failures.append(
+                f"{key}: goodput regressed {cell.goodput_ops_s:.0f} < "
+                f"{(1.0 - TOLERANCE) * reference:.0f} "
+                f"(baseline {reference:.0f}, tolerance {TOLERANCE:.0%})"
+            )
+        if cell.retained_ops <= 0:
+            failures.append(f"{key}: no spans retained for attribution")
+            continue
+        for name, share in (("p50", cell.p50_share), ("p99", cell.p99_share)):
+            total = sum(share.get(label, 0.0) for label in SEGMENTS)
+            if abs(total - 1.0) > SHARE_SUM_TOLERANCE:
+                failures.append(
+                    f"{key}: {name} attribution shares sum to {total!r}, "
+                    f"not 1 (reconciliation broken)"
+                )
+        if cell.timeseries_points <= 0:
+            failures.append(f"{key}: no time-series points sampled")
+        if cell.phase == "flash" and (
+            cell.flight_dumps + cell.flight_dumps_suppressed
+        ) <= 0:
+            failures.append(
+                f"{key}: flash crowd produced no flight-recorder activity"
+            )
+    return failures
+
+
+def print_figure(results: Dict[str, TailCell]) -> None:
+    """One table per design; rows are skew/phase cells."""
+    skews = [
+        skew for skew in SKEWS
+        if any(cell.skew == skew for cell in results.values())
+    ]
+    for design in DESIGNS:
+        rows = {}
+        capacity = 0.0
+        for skew in skews:
+            for phase in PHASES:
+                cell = results.get(cell_key(design, skew, phase))
+                if cell is None:
+                    continue
+                capacity = cell.capacity_ops_s
+                top = cell.tail_top_segment
+                top_share = cell.p99_share.get(top, 0.0)
+                rows[f"{skew}/{phase}"] = [
+                    f"{cell.offered_ops}",
+                    format_rate(cell.goodput_ops_s),
+                    f"{cell.p50_s * 1e6:.0f}us",
+                    f"{cell.p99_s * 1e6:.0f}us",
+                    f"{cell.rejected_ops}",
+                    f"{top} {top_share:.0%}" if top else "-",
+                    f"{cell.flight_dumps}+{cell.flight_dumps_suppressed}",
+                ]
+        if not rows:
+            continue
+        print_table(
+            f"Extension - tail-latency attribution, design={design} "
+            f"(capacity {format_rate(capacity)}/s)",
+            ["offered", "goodput", "p50", "p99", "rejected",
+             "tail bottleneck", "dumps"],
+            rows,
+            col_header="cell",
+        )
+    print(
+        "  tail bottleneck = largest p99 attribution share "
+        "(dumps = kept+suppressed flight bundles)"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description="critical-path tail attribution sweep + tail-smoke gate"
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny CI grid (faster)"
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, help="write results to this file"
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        help="compare against this baseline JSON; exit non-zero on regression",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        type=Path,
+        default=None,
+        help="write this run's numbers as the new baseline",
+    )
+    parser.add_argument(
+        "--artifacts",
+        type=Path,
+        default=None,
+        help="write per-cell flight bundles + Chrome traces into this dir",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        results = run(
+            scale=SMOKE, seed=args.seed, skews=SMOKE_SKEWS,
+            artifacts=args.artifacts,
+        )
+    else:
+        results = run(seed=args.seed, artifacts=args.artifacts)
+    print_figure(results)
+    payload = results_to_json(results)
+    if args.json is not None:
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if args.update_baseline is not None:
+        args.update_baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.update_baseline.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote baseline {args.update_baseline}")
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        failures = check_against_baseline(results, baseline)
+        for failure in failures:
+            print(f"TAIL REGRESSION: {failure}")
+        if failures:
+            return 1
+        print(f"tail check OK vs {args.check} ({len(results)} cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

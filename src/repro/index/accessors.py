@@ -181,9 +181,14 @@ class LocalAccessor(NodeAccessor):
 
     def spin_pause(self) -> Generator[Any, Any, None]:
         # The worker burns its core while spinning — deliberately.
-        if self.obs is not None:
-            self.obs.lock_spin_round()
+        obs = self.obs
+        if obs is None:
+            yield self.server.cpu(self._spin_slice)
+            return
+        obs.lock_spin_round()
+        started = self.server.sim.now
         yield self.server.cpu(self._spin_slice)
+        obs.stamp("lock_wait", started, self.server.sim.now)
 
     def now(self) -> float:
         return self.server.sim.now
@@ -525,9 +530,15 @@ class RemoteAccessor(NodeAccessor):
 
     def spin_pause(self) -> Generator[Any, Any, None]:
         # Remote spinlock: back off, then the caller re-READs the node.
-        if self.obs is not None:
-            self.obs.lock_spin_round()
-        yield self.compute_server.sim.timeout(self._spin_slice)
+        obs = self.obs
+        if obs is None:
+            yield self.compute_server.sim.timeout(self._spin_slice)
+            return
+        obs.lock_spin_round()
+        sim = self.compute_server.sim
+        started = sim.now
+        yield sim.timeout(self._spin_slice)
+        obs.stamp("lock_wait", started, sim.now)
 
     # -- lock-lease recovery ----------------------------------------------------
 

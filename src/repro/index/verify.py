@@ -282,4 +282,10 @@ def verify_index(
             report.replicas_checked += max(0, len(live) - 1)
             for message in divergences:
                 report.violations.append(f"replica divergence: {message}")
+    if report.violations and cluster.obs is not None:
+        # Structural damage found: freeze the flight recorder so the
+        # recent ops/faults leading up to it survive for forensics.
+        cluster.obs.flight_dump(
+            "verifier-failure", detail=list(report.violations[:8])
+        )
     return report

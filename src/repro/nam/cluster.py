@@ -131,6 +131,7 @@ class Cluster:
         if self.fault_injector is not None:
             raise ConfigurationError("a fault injector is already attached")
         injector = FaultInjector(self.sim, plan, self.config.retry)
+        injector.obs = self.obs
         self.fabric.attach_injector(injector)
         for server in self.memory_servers:
             server.injector = injector

@@ -198,6 +198,13 @@ class MemoryServer:
                     # right now; the original will answer.
                     continue
             started = self.sim.now
+            span = envelope.span
+            if span is not None:
+                # Adopt the issuing op's span for the handler's duration so
+                # server-side events (lock spins, nested verbs) attribute to
+                # the client's operation. Observability only: envelopes
+                # carry a span solely when the hub is attached.
+                self.sim._active.span = span
             fixed_cost = cpu_config.rpc_fixed_cost_s
             if not cpu_config.use_srq:
                 # One receive queue per client: the worker scans them all.
@@ -222,6 +229,8 @@ class MemoryServer:
                     # destructive crashes (replication) the region was wiped
                     # out from beneath it. The request simply dies with the
                     # server; the client's retry/failover path covers it.
+                    if span is not None:
+                        self.sim._active.span = None
                     continue
                 raise
             yield self.cpu_bytes(wire_bytes)
@@ -253,6 +262,13 @@ class MemoryServer:
                 obs.rpc_served(
                     self.server_id, len(queue), self.sim.now - started
                 )
+                if span is not None:
+                    if envelope.enqueued_at is not None:
+                        obs.stamp_span(
+                            span, "server_rpc_queue", envelope.enqueued_at, started
+                        )
+                    obs.stamp_span(span, "server_cpu", started, self.sim.now)
+                    self.sim._active.span = None
 
     # -- utilization reporting ---------------------------------------------------
 

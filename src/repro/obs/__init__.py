@@ -14,16 +14,34 @@ byte-identical to an uninstrumented build):
   that owns the registry, samples span trees (every Nth op), captures
   slow ops past a latency threshold, and pulls NIC/injector/replication
   counters at snapshot time;
+* :mod:`repro.obs.attribution` — critical-path decomposition of a
+  sampled op's wall time into a closed segment taxonomy (``nic_queue``,
+  ``network_flight``, ``server_rpc_queue``, ``server_cpu``, ...) that
+  reconciles exactly with the span's duration;
+* :mod:`repro.obs.timeseries` — bounded ring-buffer time series sampled
+  lazily on a sim-time cadence (per-server NIC backlog, worker
+  occupancy, RPC queue length, key-range heat);
+* :mod:`repro.obs.flight` — the always-on failure flight recorder:
+  bounded recent-activity rings dumped to self-contained JSON bundles
+  on errored ops, verifier failures, and tenant SLO violations;
 * :mod:`repro.obs.export` — Prometheus text, JSON, and Chrome
   trace-event exporters with validators, also exposed as a CLI::
 
       PYTHONPATH=src python -m repro.obs run --out-dir out/
       PYTHONPATH=src python -m repro.obs validate out/
+      PYTHONPATH=src python -m repro.obs report out/snapshot.json
 
 See docs/observability.md for the full model and overhead guidance.
 """
 
+from repro.obs.attribution import (
+    SEGMENTS,
+    aggregate_attributions,
+    attribute_span,
+    attribute_span_dict,
+)
 from repro.obs.config import ObservabilityConfig
+from repro.obs.flight import FlightRecorder
 from repro.obs.export import (
     chrome_trace,
     prometheus_text,
@@ -35,6 +53,7 @@ from repro.obs.export import (
 from repro.obs.hub import Observability
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.spans import OpSpan, VerbEvent
+from repro.obs.timeseries import TimeSeries, TimeSeriesRegistry
 
 __all__ = [
     "ObservabilityConfig",
@@ -45,6 +64,13 @@ __all__ = [
     "Histogram",
     "OpSpan",
     "VerbEvent",
+    "SEGMENTS",
+    "attribute_span",
+    "attribute_span_dict",
+    "aggregate_attributions",
+    "TimeSeries",
+    "TimeSeriesRegistry",
+    "FlightRecorder",
     "prometheus_text",
     "to_json",
     "chrome_trace",

@@ -1,21 +1,33 @@
 """Command-line profiling harness: ``python -m repro.obs``.
 
-Two subcommands::
+Three subcommands::
 
     python -m repro.obs run --out-dir out/       # profile one smoke cell
     python -m repro.obs validate out/            # re-parse the artifacts
+    python -m repro.obs report out/snapshot.json # attributed breakdowns
 
 ``run`` executes one Figure 7/8-class workload cell on a fresh cluster
 with observability enabled and writes three artifacts into ``--out-dir``:
 
 * ``metrics.prom`` — Prometheus text exposition of every instrument;
-* ``snapshot.json`` — the full JSON snapshot (metrics + span trees);
+* ``snapshot.json`` — the full JSON snapshot (metrics + span trees +
+  time series + flight-recorder bundles);
 * ``trace.json`` — Chrome trace-event JSON of the retained span trees
-  (load it in ``chrome://tracing`` or Perfetto).
+  and time-series counter tracks (``chrome://tracing`` or Perfetto).
 
 ``validate`` round-trips all three files through the strict parsers in
 :mod:`repro.obs.export` and exits non-zero if any fails — CI's obs-smoke
 job is exactly ``run`` followed by ``validate``.
+
+``report`` reads a snapshot (or a single flight-recorder bundle) and
+renders the top-K slowest retained operations as a critical-path
+attribution table (:mod:`repro.obs.attribution`), followed by a
+p50-vs-p99 diff: where a *typical* op spends its time versus where the
+*tail* ops spend theirs. ``--json`` emits the same data machine-readably.
+
+Every subcommand is declared once, in :data:`COMMANDS` — the table drives
+argument registration, dispatch, and ``--help``, so a new verb registers
+here and nowhere else (the same convention as ``python -m repro``).
 """
 
 from __future__ import annotations
@@ -23,9 +35,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping
 
 from repro.errors import ReproError
+from repro.obs.attribution import SEGMENTS, aggregate_attributions, attribute_span_dict
 from repro.obs.config import ObservabilityConfig
 from repro.obs.export import (
     chrome_trace,
@@ -57,6 +72,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         enabled=True,
         sample_every=args.sample_every,
         slow_op_threshold_s=args.slow_op_threshold_s,
+        timeseries_cadence_s=args.timeseries_cadence_s,
     )
     result = run_cell(
         design=args.design,
@@ -115,27 +131,235 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
-    sub = parser.add_subparsers(dest="command", required=True)
+# -- report ---------------------------------------------------------------------
 
-    run_p = sub.add_parser("run", help="profile one smoke workload cell")
-    run_p.add_argument("--out-dir", default="obs-out", help="artifact directory")
-    run_p.add_argument(
+
+def _retained_spans(snapshot: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Sampled + slow spans, deduplicated by op_id (a span can be both)."""
+    seen: set = set()
+    spans: List[Dict[str, Any]] = []
+    for group in ("sampled_spans", "slow_spans"):
+        for span in snapshot.get(group, []):
+            if span["op_id"] in seen:
+                continue
+            seen.add(span["op_id"])
+            spans.append(span)
+    return spans
+
+
+def _span_duration(span: Mapping[str, Any]) -> float:
+    finished = span["finished_at"]
+    if finished is None:
+        finished = span["started_at"]
+    return finished - span["started_at"]
+
+
+def report_data(snapshot: Mapping[str, Any], top_k: int) -> Dict[str, Any]:
+    """The ``report`` verb's payload: top-K slowest ops with attribution,
+    plus the typical-vs-tail (p50 vs p99) aggregate share diff."""
+    spans = _retained_spans(snapshot)
+    rows = sorted(
+        (
+            {
+                "op_id": span["op_id"],
+                "name": span["name"],
+                "client_id": span["client_id"],
+                "duration_s": _span_duration(span),
+                "attribution": attribute_span_dict(span),
+            }
+            for span in spans
+        ),
+        key=lambda row: row["duration_s"],
+        reverse=True,
+    )
+    diff: Dict[str, Any] = {}
+    if rows:
+        # "p50" = the fastest half (a typical op); "p99" = the slowest
+        # 1% of retained ops, at least one — the tail being diagnosed.
+        by_speed = list(reversed(rows))
+        typical = by_speed[: max(1, len(rows) // 2)]
+        tail = rows[: max(1, len(rows) // 100)]
+        p50 = aggregate_attributions(row["attribution"] for row in typical)
+        p99 = aggregate_attributions(row["attribution"] for row in tail)
+        diff = {
+            "p50_share": p50,
+            "p99_share": p99,
+            "delta": {label: p99[label] - p50[label] for label in SEGMENTS},
+            "typical_ops": len(typical),
+            "tail_ops": len(tail),
+        }
+    return {
+        "kind": "obs-report",
+        "retained_ops": len(rows),
+        "top": rows[:top_k],
+        "diff": diff,
+    }
+
+
+def _print_attribution_table(rows: List[Dict[str, Any]]) -> None:
+    short = [label[:12] for label in SEGMENTS]
+    header = f"{'op':>8} {'type':<22} {'total_us':>9} " + " ".join(
+        f"{name:>12}" for name in short
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = " ".join(
+            f"{row['attribution'][label] * 1e6:>12.2f}" for label in SEGMENTS
+        )
+        print(
+            f"{row['op_id']:>8} {row['name'][:22]:<22} "
+            f"{row['duration_s'] * 1e6:>9.2f} {cells}"
+        )
+
+
+def _print_report(data: Mapping[str, Any]) -> None:
+    print(f"retained operations: {data['retained_ops']}")
+    if not data["top"]:
+        print("(no retained spans — was observability enabled?)")
+        return
+    print(f"\ntop {len(data['top'])} slowest ops (all times in us):")
+    _print_attribution_table(data["top"])
+    diff = data["diff"]
+    if diff:
+        print(
+            f"\nattribution shares, typical (fastest {diff['typical_ops']}) "
+            f"vs tail (slowest {diff['tail_ops']}):"
+        )
+        print(f"{'segment':<18} {'p50':>8} {'p99':>8} {'delta':>8}")
+        for label in SEGMENTS:
+            print(
+                f"{label:<18} {diff['p50_share'][label]:>8.1%} "
+                f"{diff['p99_share'][label]:>8.1%} "
+                f"{diff['delta'][label]:>+8.1%}"
+            )
+
+
+def _print_flight_bundle(bundle: Mapping[str, Any], top_k: int) -> None:
+    print(
+        f"flight-recorder bundle: trigger={bundle['trigger']!r} "
+        f"at sim_time={bundle['sim_time']:g}"
+    )
+    if "detail" in bundle:
+        print(f"detail: {bundle['detail']}")
+    op = bundle.get("op")
+    if op is not None:
+        row = {
+            "op_id": op["op_id"],
+            "name": op["name"],
+            "client_id": op["client_id"],
+            "duration_s": _span_duration(op),
+            "attribution": bundle.get("attribution") or attribute_span_dict(op),
+        }
+        print("\ntriggering op (all times in us):")
+        _print_attribution_table([row])
+    faults = bundle.get("faults", [])
+    if faults:
+        print(f"\nfaults ({len(faults)}):")
+        for fault in faults[-top_k:]:
+            print(
+                f"  t={fault['sim_time']:g} {fault['kind']} "
+                f"server={fault['server_id']}"
+            )
+    recent = bundle.get("recent_ops", {})
+    if recent:
+        total = sum(len(ops) for ops in recent.values())
+        print(f"\nrecent ops: {total} across {len(recent)} clients")
+    verbs = bundle.get("verbs", [])
+    if verbs:
+        print(f"recent verbs: {len(verbs)}")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    if path.is_dir():
+        path = path / SNAPSHOT_FILE
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{path}: cannot read ({exc})")
+        return 1
+    if document.get("kind") == "flight-dump":
+        if args.json:
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            _print_flight_bundle(document, args.top_k)
+        return 0
+    data = report_data(document, args.top_k)
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        _print_report(data)
+    return 0
+
+
+# -- command table --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Command:
+    """One registered subcommand: its name, help line, argument wiring,
+    and handler. The table drives the parser — a new verb adds one row."""
+
+    name: str
+    help: str
+    configure: Callable[[argparse.ArgumentParser], None]
+    run: Callable[[argparse.Namespace], int]
+
+
+def _configure_run(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--out-dir", default="obs-out", help="artifact directory")
+    parser.add_argument(
         "--design",
         default="fine-grained",
         choices=("coarse-grained", "fine-grained", "hybrid"),
     )
-    run_p.add_argument("--clients", type=int, default=20)
-    run_p.add_argument("--point-fraction", type=float, default=0.9)
-    run_p.add_argument("--sample-every", type=int, default=16)
-    run_p.add_argument("--slow-op-threshold-s", type=float, default=1e-3)
-    run_p.set_defaults(func=_cmd_run)
+    parser.add_argument("--clients", type=int, default=20)
+    parser.add_argument("--point-fraction", type=float, default=0.9)
+    parser.add_argument("--sample-every", type=int, default=16)
+    parser.add_argument("--slow-op-threshold-s", type=float, default=1e-3)
+    parser.add_argument(
+        "--timeseries-cadence-s", type=float, default=None,
+        help="sim-time sampling cadence for per-server time series",
+    )
 
-    val_p = sub.add_parser("validate", help="re-parse a run's artifacts")
-    val_p.add_argument("out_dir", help="directory written by `run`")
-    val_p.set_defaults(func=_cmd_validate)
 
+def _configure_validate(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("out_dir", help="directory written by `run`")
+
+
+def _configure_report(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "path",
+        help="snapshot.json, a flight-recorder bundle, or a `run` out-dir",
+    )
+    parser.add_argument(
+        "--top-k", type=int, default=10,
+        help="slowest ops to break down (default 10)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+
+_TABLE = [
+    Command("run", "profile one smoke workload cell", _configure_run, _cmd_run),
+    Command("validate", "re-parse a run's artifacts", _configure_validate,
+            _cmd_validate),
+    Command("report", "attributed latency breakdown of a snapshot or bundle",
+            _configure_report, _cmd_report),
+]
+
+COMMANDS = {command.name: command for command in _TABLE}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    for command in COMMANDS.values():
+        command_parser = sub.add_parser(command.name, help=command.help)
+        command.configure(command_parser)
+        command_parser.set_defaults(func=command.run)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -51,6 +51,23 @@ class ObservabilityConfig:
     bucket_floor: float = 1e-7
     bucket_base: float = 2.0
     bucket_count: int = 40
+    #: Sim-time cadence of per-server time-series sampling (seconds).
+    #: None (the default) disables the sampler entirely; sampling is lazy
+    #: (piggybacked on hot-path hooks), never event-scheduled.
+    timeseries_cadence_s: Optional[float] = None
+    #: Ring-buffer capacity of each time series (oldest point evicted).
+    timeseries_points: int = 512
+    #: Flight recorder: entries kept per recent-activity ring (per-client
+    #: ops, per-server admission verdicts, faults, verbs).
+    flight_ring: int = 64
+    #: Dump bundles retained in memory; further triggers are counted in
+    #: ``dumps_suppressed`` instead of stored.
+    max_flight_dumps: int = 8
+    #: Derive per-tenant slow-op thresholds from ``TenantSpec.slo_p99_s``
+    #: in open-loop runs (slow = over that tenant's SLO). Off by default:
+    #: the static ``slow_op_threshold_s`` alone decides, byte-identically
+    #: to builds that predate this knob.
+    derive_slow_from_slo: bool = False
 
     def __post_init__(self) -> None:
         if self.sample_every < 1:
@@ -65,3 +82,11 @@ class ObservabilityConfig:
             raise ConfigurationError("bucket_base must be > 1")
         if not 1 <= self.bucket_count <= 128:
             raise ConfigurationError("bucket_count must be in [1, 128]")
+        if self.timeseries_cadence_s is not None and self.timeseries_cadence_s <= 0:
+            raise ConfigurationError("timeseries_cadence_s must be > 0 or None")
+        if self.timeseries_points < 1:
+            raise ConfigurationError("timeseries_points must be >= 1")
+        if self.flight_ring < 1:
+            raise ConfigurationError("flight_ring must be >= 1")
+        if self.max_flight_dumps < 0:
+            raise ConfigurationError("max_flight_dumps must be >= 0")

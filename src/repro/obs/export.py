@@ -42,6 +42,13 @@ _SAMPLE_LINE = re.compile(
 )
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, double-quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _label_str(labels: Mapping[str, str], extra: Mapping[str, str] = None) -> str:
     merged = dict(labels)
     if extra:
@@ -49,7 +56,8 @@ def _label_str(labels: Mapping[str, str], extra: Mapping[str, str] = None) -> st
     if not merged:
         return ""
     body = ",".join(
-        f'{key}="{str(value)}"' for key, value in sorted(merged.items())
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(merged.items())
     )
     return "{" + body + "}"
 
@@ -81,6 +89,17 @@ def prometheus_text(snapshot: Mapping[str, Any]) -> str:
             lines.append(f"{name}_count{_label_str(labels)} {metric['count']}")
         else:
             raise ValidationError(f"unknown metric type {kind!r} for {name!r}")
+    # Time series export as gauges carrying their latest sampled point; the
+    # full point history lives in the JSON snapshot / Chrome trace.
+    for series in snapshot.get("timeseries", []):
+        name = series["name"]
+        if not series["points"]:
+            continue
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} gauge")
+        value = series["points"][-1][1]
+        lines.append(f"{name}{_label_str(series['labels'])} {value:g}")
     return "\n".join(lines) + "\n"
 
 
@@ -147,6 +166,20 @@ def chrome_trace(snapshot: Mapping[str, Any]) -> Dict[str, Any]:
             seen_ops.add(span["op_id"])
             pid = span["client_id"] if span["client_id"] is not None else 0
             events.extend(_span_events(span, pid))
+    for series in snapshot.get("timeseries", []):
+        pid = int(series["labels"].get("server", 0))
+        for t, value in series["points"]:
+            events.append(
+                {
+                    "name": series["name"],
+                    "cat": "timeseries",
+                    "ph": "C",
+                    "ts": t * 1e6,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"value": value},
+                }
+            )
     events.sort(key=lambda event: (event["ts"], event["tid"]))
     return {
         "traceEvents": events,

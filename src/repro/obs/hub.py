@@ -27,12 +27,15 @@ an enabled run's simulated results are identical to a disabled run's.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs.config import ObservabilityConfig
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 from repro.obs.spans import OpSpan, VerbEvent
+from repro.obs.timeseries import TimeSeriesRegistry
 
 __all__ = ["Observability"]
 
@@ -78,6 +81,26 @@ class Observability:
         self._shed_handles: Dict[Any, Counter] = {}
         self._breaker_handles: Dict[Any, Counter] = {}
         self._budget_handles: Dict[Any, Counter] = {}
+        # Per-server time series (docs/observability.md): sampled lazily on
+        # a sim-time cadence from the hooks above, never event-scheduled.
+        self.timeseries = TimeSeriesRegistry(
+            lambda: sim.now, self.config.timeseries_points
+        )
+        self._ts_cadence = self.config.timeseries_cadence_s
+        self._ts_next = 0.0
+        self._ts_last_t: Optional[float] = None
+        self._ts_busy: Dict[int, float] = {}
+        self._ts_ops: Dict[int, int] = {}
+        self._ts_cluster: Any = None
+        # Flight recorder: always-on bounded rings + trigger-driven dumps.
+        self.flight = FlightRecorder(
+            lambda: sim.now, self.config.flight_ring, self.config.max_flight_dumps
+        )
+        # Per-client slow-op thresholds (seconds), derived from tenant SLOs
+        # by the open-loop runner when ``derive_slow_from_slo`` is set.
+        # Empty by default, in which case end_op's retention decision is
+        # byte-identical to the static-threshold-only build.
+        self._client_slow: Dict[Any, float] = {}
 
     # -- correlation ---------------------------------------------------------
 
@@ -90,6 +113,62 @@ class Observability:
         """Op id stamped onto trace records while an operation is active."""
         span = self.active_span()
         return span.op_id if span is not None else None
+
+    # -- critical-path stamps (consumed by repro.obs.attribution) --------------
+
+    @staticmethod
+    def _root(span: OpSpan) -> OpSpan:
+        while span.parent is not None:
+            span = span.parent
+        return span
+
+    def stamp(self, label: str, started_at: float, finished_at: float) -> None:
+        """Attribute ``[started_at, finished_at)`` of the *active* process's
+        operation to segment *label*. No-op outside an operation or for a
+        zero-length window — stamping never affects simulation state."""
+        if finished_at <= started_at:
+            return
+        process = self.sim._active
+        span = process.span if process is not None else None
+        if span is None:
+            return
+        self._root(span).segments.append((label, started_at, finished_at))
+
+    def stamp_span(
+        self, span: OpSpan, label: str, started_at: float, finished_at: float
+    ) -> None:
+        """Like :meth:`stamp`, but for code that holds an explicit span
+        reference instead of running inside the op's process (memory-server
+        workers stamping queue wait and CPU time onto the client's op)."""
+        if finished_at <= started_at:
+            return
+        self._root(span).segments.append((label, started_at, finished_at))
+
+    def stamp_leg(
+        self,
+        started_at: float,
+        tx_start: float,
+        arrival: float,
+        rx_start: float,
+        finished_at: float,
+    ) -> None:
+        """Stamp one wire leg's anatomy onto the active operation:
+        ``nic_queue`` for the TX-busy and RX-busy waits, ``network_flight``
+        for wire occupancy + propagation. The four stamps tile
+        ``[started_at, finished_at)`` exactly."""
+        process = self.sim._active
+        span = process.span if process is not None else None
+        if span is None:
+            return
+        segments = self._root(span).segments
+        if tx_start > started_at:
+            segments.append(("nic_queue", started_at, tx_start))
+        if arrival > tx_start:
+            segments.append(("network_flight", tx_start, arrival))
+        if rx_start > arrival:
+            segments.append(("nic_queue", arrival, rx_start))
+        if finished_at > rx_start:
+            segments.append(("network_flight", rx_start, finished_at))
 
     # -- operation lifecycle (called by the workload runner) -------------------
 
@@ -132,8 +211,18 @@ class Observability:
         if (span.op_id - 1) % self.config.sample_every == 0:
             self.sampled_spans.append(span)
         threshold = self.config.slow_op_threshold_s
+        if self._client_slow:
+            threshold = self._client_slow.get(span.client_id, threshold)
         if threshold is not None and duration > threshold:
             self.slow_spans.append(span)
+        self.flight.record_op(span)
+        if self._ts_cadence is not None:
+            self.maybe_sample()
+
+    def set_client_slow_threshold(self, client_id: Any, threshold: float) -> None:
+        """Override the slow-op threshold for one client (tenant SLO-derived;
+        see ``ObservabilityConfig.derive_slow_from_slo``)."""
+        self._client_slow[client_id] = threshold
 
     # -- traversal structure (called by the tree algorithm) --------------------
 
@@ -193,6 +282,9 @@ class Observability:
                     finished_at, local, batch_id,
                 )
             )
+        self.flight.record_verb(name, server_id, payload_bytes, started_at, finished_at)
+        if self._ts_cadence is not None:
+            self.maybe_sample()
 
     def batch_executed(self, server_id: int, wqes: int) -> None:
         """A doorbell batch was posted with *wqes* chained entries."""
@@ -234,6 +326,8 @@ class Observability:
         handles[0].inc()
         handles[1].observe(float(queue_depth))
         handles[2].observe(service_s)
+        if self._ts_cadence is not None:
+            self.maybe_sample()
 
     def lock_acquired(self) -> None:
         self._lock_acquired.inc()
@@ -284,6 +378,9 @@ class Observability:
             )
             self._admission_handles[key] = handle
         handle.inc()
+        self.flight.record_admission(server_id, "accepted")
+        if self._ts_cadence is not None:
+            self.maybe_sample()
 
     def admission_rejected(self, server_id: int, reason: str) -> None:
         """Admission control bounced an RPC (``rate-limit``/``queue-full``)."""
@@ -295,6 +392,9 @@ class Observability:
             )
             self._admission_handles[key] = handle
         handle.inc()
+        self.flight.record_admission(server_id, reason)
+        if self._ts_cadence is not None:
+            self.maybe_sample()
 
     def load_shed(self, tenant: Optional[str]) -> None:
         """A client shed an operation before issuing it (open breaker)."""
@@ -327,6 +427,77 @@ class Observability:
             self._budget_handles[tenant] = handle
         handle.inc()
 
+    # -- time series (lazy sampler) ----------------------------------------------
+
+    def maybe_sample(self) -> None:
+        """Record one point per per-server series if a cadence boundary has
+        passed since the last sample. Called from hot-path hooks that fire
+        anyway (verbs, RPC completions, op ends, admission verdicts) — one
+        float compare when no sample is due, never a scheduled event."""
+        cadence = self._ts_cadence
+        if cadence is None:
+            return
+        now = self.sim.now
+        if now < self._ts_next:
+            return
+        self._sample_all(now)
+        self._ts_next = (math.floor(now / cadence) + 1.0) * cadence
+
+    def _sample_all(self, now: float) -> None:
+        cluster = self._ts_cluster
+        if cluster is None:
+            return
+        ts = self.timeseries
+        elapsed = None
+        if self._ts_last_t is not None and now > self._ts_last_t:
+            elapsed = now - self._ts_last_t
+        for server in cluster.memory_servers:
+            sid = server.server_id
+            port = server.port
+            ts.record(
+                "nic_tx_backlog_seconds",
+                max(0.0, port.tx.busy_until - now),
+                server=sid,
+            )
+            ts.record(
+                "nic_rx_backlog_seconds",
+                max(0.0, port.rx.busy_until - now),
+                server=sid,
+            )
+            ts.record("rpc_queue_len", float(server.rpc_backlog), server=sid)
+            busy = server._busy_time
+            if elapsed is not None:
+                prev_busy = self._ts_busy.get(sid, busy)
+                cores = server.config.cpu.cores_per_server
+                occupancy = (busy - prev_busy) / (elapsed * cores)
+                ts.record(
+                    "worker_occupancy", min(1.0, max(0.0, occupancy)), server=sid
+                )
+            self._ts_busy[sid] = busy
+            ops = sum(server.stats.ops.values())
+            prev_ops = self._ts_ops.get(sid)
+            if prev_ops is not None:
+                ts.record("server_heat_ops", float(ops - prev_ops), server=sid)
+            self._ts_ops[sid] = ops
+        self._ts_last_t = now
+
+    # -- flight recorder ----------------------------------------------------------
+
+    def fault_event(self, kind: str, server_id: int) -> None:
+        """A fault was injected (crash/restart/kill) — feed the flight ring."""
+        self.flight.record_fault(kind, server_id)
+
+    def flight_dump(
+        self,
+        trigger: str,
+        span: Optional[OpSpan] = None,
+        detail: Optional[Any] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Freeze the flight-recorder rings into a bundle (see
+        :mod:`repro.obs.flight`). Returns the bundle, or None when the
+        per-run dump budget is spent."""
+        return self.flight.dump(trigger, span=span, detail=detail)
+
     # -- pull collectors ---------------------------------------------------------
 
     def register_collector(self, collect: Callable[[MetricsRegistry], None]) -> None:
@@ -337,6 +508,7 @@ class Observability:
     def attach_cluster(self, cluster: Any) -> None:
         """Register the standard pull collector over a cluster's NIC ports,
         verb stats, fault injector, replication manager, and sim kernel."""
+        self._ts_cluster = cluster
 
         def collect(reg: MetricsRegistry) -> None:
             for server in cluster.memory_servers:
@@ -403,8 +575,12 @@ class Observability:
             "config": {
                 "sample_every": self.config.sample_every,
                 "slow_op_threshold_s": self.config.slow_op_threshold_s,
+                "timeseries_cadence_s": self.config.timeseries_cadence_s,
+                "derive_slow_from_slo": self.config.derive_slow_from_slo,
             },
             "metrics": base["metrics"],
             "sampled_spans": [span.as_dict() for span in self.sampled_spans],
             "slow_spans": [span.as_dict() for span in self.slow_spans],
+            "timeseries": self.timeseries.snapshot(),
+            "flight": self.flight.snapshot(),
         }

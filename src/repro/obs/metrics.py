@@ -185,7 +185,22 @@ class Histogram:
                 return self.max if math.isinf(edge) else min(edge, self.max)
         return self.max
 
+    def summary(self) -> Dict[str, float]:
+        """The standard quantile summary (p50/p90/p99/p999 plus mean).
+
+        Quantiles come from bucket upper edges, so monotonicity
+        (p50 <= p90 <= p99 <= p999) holds by construction.
+        """
+        return {
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
+        }
+
     def as_dict(self) -> Dict[str, object]:
+        summary = self.summary()
         return {
             "type": "histogram",
             "name": self.name,
@@ -194,9 +209,11 @@ class Histogram:
             "total": self.total,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
-            "mean": self.mean,
-            "p50": self.quantile(0.50),
-            "p99": self.quantile(0.99),
+            "mean": summary["mean"],
+            "p50": summary["p50"],
+            "p90": summary["p90"],
+            "p99": summary["p99"],
+            "p999": summary["p999"],
             "buckets": list(self.buckets),
             # The overflow bucket's edge is "+Inf" (a string: JSON has no
             # Infinity, and Prometheus spells it this way anyway).

@@ -47,6 +47,7 @@ class OpSpan:
         "parent",
         "children",
         "verbs",
+        "segments",
     )
 
     def __init__(
@@ -67,6 +68,10 @@ class OpSpan:
         self.parent = parent
         self.children: List["OpSpan"] = []
         self.verbs: List[VerbEvent] = []
+        #: Critical-path stamps ``(label, start, end)`` collected on the
+        #: *root* span only (the hub walks child stamps up); consumed by
+        #: :mod:`repro.obs.attribution` to decompose the op's wall time.
+        self.segments: List[tuple] = []
 
     def child(self, kind: str, name: str, started_at: float) -> "OpSpan":
         """Open a child span (inherits op_id and client_id)."""
@@ -127,6 +132,7 @@ class OpSpan:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "verbs": [event._asdict() for event in self.verbs],
+            "segments": [list(segment) for segment in self.segments],
             "children": [span.as_dict() for span in self.children],
         }
 

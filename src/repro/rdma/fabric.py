@@ -76,9 +76,21 @@ class Fabric:
         single simulation event.
         """
         wire = payload_bytes + self.config.header_wire_bytes
-        tx_done = tx.reserve(wire)
-        arrival = tx_done + self.config.one_way_latency_s
-        rx_done = rx.reserve(wire, earliest=arrival)
+        obs = self.obs
+        if obs is None:
+            tx_done = tx.reserve(wire)
+            arrival = tx_done + self.config.one_way_latency_s
+            rx_done = rx.reserve(wire, earliest=arrival)
+        else:
+            # Same reservations in the same order; the extra busy_until
+            # reads are pure and let the stamp split queueing from flight.
+            started = self.sim.now
+            tx_start = tx.busy_until
+            tx_done = tx.reserve(wire)
+            arrival = tx_done + self.config.one_way_latency_s
+            rx_start = max(rx.busy_until, arrival)
+            rx_done = rx.reserve(wire, earliest=arrival)
+            obs.stamp_leg(started, tx_start, arrival, rx_start, rx_done)
         yield self.sim.timeout(rx_done - self.sim.now)
 
     def local_copy(self, payload_bytes: int) -> Generator[Any, Any, None]:

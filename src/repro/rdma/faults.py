@@ -150,6 +150,9 @@ class FaultInjector:
         self.retry = retry
         self.rng = np.random.default_rng(plan.seed)
         self._cluster = None
+        #: Optional :class:`repro.obs.hub.Observability` hub; crash/restart
+        #: events feed its flight recorder. None on uninstrumented runs.
+        self.obs = None
         self._quiesced = False
         self._down: set = set()
         self._crash_epoch: Dict[int, int] = {}
@@ -277,6 +280,8 @@ class FaultInjector:
         self._down.add(server_id)
         self._crash_epoch[server_id] = self.crash_epoch(server_id) + 1
         self.stats["server_crashes"] += 1
+        if self.obs is not None:
+            self.obs.fault_event("server_crash", server_id)
         replication = getattr(self._cluster, "replication", None)
         if replication is not None:
             # Destructive crash: wipe every copy hosted here and stop
@@ -298,6 +303,8 @@ class FaultInjector:
                     )
             self._down.discard(server_id)
             self.stats["server_restarts"] += 1
+            if self.obs is not None:
+                self.obs.fault_event("server_restart", server_id)
 
     def _server_crash_schedule(self, crash: ServerCrash) -> Generator[Any, Any, None]:
         if crash.at_s > self.sim.now:
@@ -326,6 +333,8 @@ class FaultInjector:
             return
         self._killed_compute.add(compute_server_id)
         self.stats["compute_crashes"] += 1
+        if self.obs is not None:
+            self.obs.fault_event("compute_crash", compute_server_id)
         for process in self._client_procs.get(compute_server_id, ()):
             if not process.triggered:
                 process.kill()

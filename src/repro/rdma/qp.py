@@ -75,7 +75,9 @@ class RpcEnvelope:
     crash are lost with it).
     """
 
-    __slots__ = ("qp", "payload", "_reply", "seq", "epoch", "tenant")
+    __slots__ = (
+        "qp", "payload", "_reply", "seq", "epoch", "tenant", "span", "enqueued_at"
+    )
 
     def __init__(
         self,
@@ -85,6 +87,8 @@ class RpcEnvelope:
         seq: int = 0,
         epoch: int = 0,
         tenant: Optional[str] = None,
+        span: Any = None,
+        enqueued_at: Optional[float] = None,
     ) -> None:
         self.qp = qp
         self.payload = payload
@@ -94,10 +98,17 @@ class RpcEnvelope:
         #: Workload tenant that issued the call; admission control keys its
         #: token buckets and bulkhead routing on this (None = anonymous).
         self.tenant = tenant
+        #: Issuing operation's span (observability only; None when the hub
+        #: is detached). Workers stamp queue-wait/CPU segments onto it and
+        #: adopt it while running the handler.
+        self.span = span
+        #: Sim time the request reached the server's SRQ (observability
+        #: only); the worker's dequeue time minus this is the queue wait.
+        self.enqueued_at = enqueued_at
 
     def complete(self, response: Any, response_wire_bytes: int) -> None:
         """Send *response* back to the caller (non-blocking for the worker)."""
-        self.qp._spawn_reply(self._reply, response, response_wire_bytes)
+        self.qp._spawn_reply(self._reply, response, response_wire_bytes, self.span)
 
 
 class QueuePair:
@@ -325,9 +336,12 @@ class QueuePair:
             obs = self.fabric.obs
             if obs is not None:
                 obs.attempt_failed(verb, server_id, retried=attempt < last_attempt)
+            wait_start = self.sim.now
             yield self.sim.timeout(retry.timeout_s)
             if attempt < last_attempt:
                 yield self.sim.timeout(injector.backoff_delay(attempt))
+            if obs is not None:
+                obs.stamp("client_backoff", wait_start, self.sim.now)
         raise RetriesExhaustedError(
             f"{verb.value} to memory server {server_id} gave up after "
             f"{retry.max_attempts} attempts"
@@ -382,12 +396,33 @@ class QueuePair:
             # Both legs inlined from fabric.transmit — same reservation
             # order (tx before rx), same single timeout per leg.
             latency = self._latency
-            wire = self._req_leg_wire
-            done = self._rrx.reserve(wire, self._ltx.reserve(wire) + latency)
-            yield sim.timeout(done - sim.now)
-            wire = length + self._header_wire
-            done = self._lrx.reserve(wire, self._rtx.reserve(wire) + latency)
-            yield sim.timeout(done - sim.now)
+            obs = self.fabric.obs
+            if obs is None:
+                wire = self._req_leg_wire
+                done = self._rrx.reserve(wire, self._ltx.reserve(wire) + latency)
+                yield sim.timeout(done - sim.now)
+                wire = length + self._header_wire
+                done = self._lrx.reserve(wire, self._rtx.reserve(wire) + latency)
+                yield sim.timeout(done - sim.now)
+            else:
+                # Same reservations in the same order, plus pure
+                # busy_until reads to split queueing from flight.
+                wire = self._req_leg_wire
+                leg_start = sim.now
+                tx_start = self._ltx.busy_until
+                arrival = self._ltx.reserve(wire) + latency
+                rx_start = max(self._rrx.busy_until, arrival)
+                done = self._rrx.reserve(wire, arrival)
+                obs.stamp_leg(leg_start, tx_start, arrival, rx_start, done)
+                yield sim.timeout(done - sim.now)
+                wire = length + self._header_wire
+                leg_start = sim.now
+                tx_start = self._rtx.busy_until
+                arrival = self._rtx.reserve(wire) + latency
+                rx_start = max(self._lrx.busy_until, arrival)
+                done = self._lrx.reserve(wire, arrival)
+                obs.stamp_leg(leg_start, tx_start, arrival, rx_start, done)
+                yield sim.timeout(done - sim.now)
         fabric = self.fabric
         if fabric.tracer is not None or fabric.obs is not None:
             self._trace(Verb.READ, length, started_at)
@@ -461,13 +496,35 @@ class QueuePair:
             # one timeout per leg), atomic surcharge between them.
             latency = self._latency
             request_wire = self._request_wire
-            wire = request_wire + nbytes + request_wire + 16 + self._header_wire
-            done = self._rrx.reserve(wire, self._ltx.reserve(wire) + latency)
-            yield sim.timeout(done - sim.now)
-            yield sim.timeout(fabric.config.atomic_extra_latency_s)
-            wire = 8 + self._header_wire
-            done = self._lrx.reserve(wire, self._rtx.reserve(wire) + latency)
-            yield sim.timeout(done - sim.now)
+            obs = fabric.obs
+            if obs is None:
+                wire = request_wire + nbytes + request_wire + 16 + self._header_wire
+                done = self._rrx.reserve(wire, self._ltx.reserve(wire) + latency)
+                yield sim.timeout(done - sim.now)
+                yield sim.timeout(fabric.config.atomic_extra_latency_s)
+                wire = 8 + self._header_wire
+                done = self._lrx.reserve(wire, self._rtx.reserve(wire) + latency)
+                yield sim.timeout(done - sim.now)
+            else:
+                # Same reservations in the same order, plus pure
+                # busy_until reads to split queueing from flight.
+                wire = request_wire + nbytes + request_wire + 16 + self._header_wire
+                leg_start = sim.now
+                tx_start = self._ltx.busy_until
+                arrival = self._ltx.reserve(wire) + latency
+                rx_start = max(self._rrx.busy_until, arrival)
+                done = self._rrx.reserve(wire, arrival)
+                obs.stamp_leg(leg_start, tx_start, arrival, rx_start, done)
+                yield sim.timeout(done - sim.now)
+                yield sim.timeout(fabric.config.atomic_extra_latency_s)
+                wire = 8 + self._header_wire
+                leg_start = sim.now
+                tx_start = self._rtx.busy_until
+                arrival = self._rtx.reserve(wire) + latency
+                rx_start = max(self._lrx.busy_until, arrival)
+                done = self._lrx.reserve(wire, arrival)
+                obs.stamp_leg(leg_start, tx_start, arrival, rx_start, done)
+                yield sim.timeout(done - sim.now)
         self._apply_write(offset, data)
         old = self._apply_faa(offset, 1)
         if fabric.tracer is not None or fabric.obs is not None:
@@ -606,15 +663,30 @@ class QueuePair:
             yield from self.fabric.local_copy(request_wire_bytes)
         else:
             yield from self._request_leg(request_wire_bytes)
-        self.remote.submit(RpcEnvelope(self, request, reply, tenant=tenant))
+        obs = self.fabric.obs
+        if obs is None:
+            envelope = RpcEnvelope(self, request, reply, tenant=tenant)
+        else:
+            envelope = RpcEnvelope(
+                self, request, reply, tenant=tenant,
+                span=obs.active_span(), enqueued_at=self.sim.now,
+            )
+        self.remote.submit(envelope)
         response = yield reply
         self._trace(Verb.SEND, request_wire_bytes, started_at)
-        return self._check_admitted(response)
+        return self._check_admitted(response, started_at)
 
-    def _check_admitted(self, response: Any) -> Any:
+    def _check_admitted(
+        self, response: Any, started_at: Optional[float] = None
+    ) -> Any:
         """Translate an admission bounce into its client-side exception."""
         if getattr(response, "throttled", False):
             reason = response.reason
+            obs = self.fabric.obs
+            if obs is not None and started_at is not None:
+                # The whole bounced round trip is admission-rejection
+                # delay; its priority outranks the wire segments beneath.
+                obs.stamp("admission_reject", started_at, self.sim.now)
             if reason == "rate-limit":
                 raise ThrottledError(
                     f"memory server {self.remote.server_id} rate-limited "
@@ -647,6 +719,8 @@ class QueuePair:
         seq = self._next_seq
         self._next_seq += 1
         last_attempt = retry.max_attempts - 1
+        obs = self.fabric.obs
+        span = obs.active_span() if obs is not None else None
         for attempt in range(retry.max_attempts):
             self.remote.stats.record(Verb.SEND, request_wire_bytes)
             yield from self._request_leg(request_wire_bytes)
@@ -659,29 +733,36 @@ class QueuePair:
                 epoch = injector.crash_epoch(server_id)
                 self.remote.submit(
                     RpcEnvelope(
-                        self, request, reply, seq=seq, epoch=epoch, tenant=tenant
+                        self, request, reply, seq=seq, epoch=epoch, tenant=tenant,
+                        span=span, enqueued_at=self.sim.now,
                     )
                 )
                 if injector.should_duplicate(Verb.SEND, server_id):
                     self.remote.submit(
                         RpcEnvelope(
-                            self, request, reply, seq=seq, epoch=epoch, tenant=tenant
+                            self, request, reply, seq=seq, epoch=epoch,
+                            tenant=tenant, span=span, enqueued_at=self.sim.now,
                         )
                     )
+            wait_start = self.sim.now
             yield self.sim.any_of([reply, self.sim.timeout(retry.timeout_s)])
             if not reply.triggered:
-                obs = self.fabric.obs
                 if obs is not None:
                     obs.attempt_failed(
                         Verb.SEND, server_id, retried=attempt < last_attempt
                     )
                 if attempt < last_attempt:
                     yield self.sim.timeout(injector.backoff_delay(attempt))
+                if obs is not None and not reply.triggered:
+                    # The timed-out detection window plus the backoff are
+                    # client-side retry delay (a reply landing mid-backoff
+                    # keeps its server-stamped segments instead).
+                    obs.stamp("client_backoff", wait_start, self.sim.now)
             if reply.triggered:
                 self._rpc_cache.pop(seq, None)
                 self._rpc_admitted.discard(seq)
                 self._trace(Verb.SEND, request_wire_bytes, started_at)
-                return self._check_admitted(reply.value)
+                return self._check_admitted(reply.value, started_at)
         self._rpc_cache.pop(seq, None)
         self._rpc_inflight.discard(seq)
         self._rpc_admitted.discard(seq)
@@ -717,7 +798,9 @@ class QueuePair:
         """The cached ``(response, wire_bytes)`` for *seq*, or None."""
         return self._rpc_cache.get(seq)
 
-    def _spawn_reply(self, reply: Event, response: Any, wire_bytes: int) -> None:
+    def _spawn_reply(
+        self, reply: Event, response: Any, wire_bytes: int, span: Any = None
+    ) -> None:
         def ship() -> Generator[Any, Any, None]:
             if self.is_local:
                 yield from self.fabric.local_copy(wire_bytes)
@@ -736,7 +819,11 @@ class QueuePair:
             if not reply.triggered:
                 reply.succeed(response)
 
-        self.sim.process(ship())
+        proc = self.sim.process(ship())
+        if span is not None:
+            # Ship on behalf of the issuing op so the response leg's
+            # queueing/flight stamps land on that op's span.
+            proc.span = span
 
 
 class VerbBatch:
@@ -997,9 +1084,12 @@ class VerbBatch:
                 obs.attempt_failed(
                     lead_verb, server_id, retried=attempt < last_attempt
                 )
+            wait_start = qp.sim.now
             yield qp.sim.timeout(retry.timeout_s)
             if attempt < last_attempt:
                 yield qp.sim.timeout(injector.backoff_delay(attempt))
+            if obs is not None:
+                obs.stamp("client_backoff", wait_start, qp.sim.now)
         raise RetriesExhaustedError(
             f"doorbell batch of {len(ops)} verbs to memory server {server_id} "
             f"gave up after {retry.max_attempts} attempts"

@@ -221,6 +221,12 @@ class OpenLoopRunner:
             raise ConfigurationError(f"duplicate tenant names: {names}")
         sim = self.cluster.sim
         obs = self.cluster.obs
+        if obs is not None and obs.config.derive_slow_from_slo:
+            # Slow = over *this tenant's* SLO: per-client thresholds keyed
+            # by tenant index (the client_id stamped on the tenant's spans).
+            for tenant_index, tenant in enumerate(tenants):
+                if tenant.slo_p99_s is not None:
+                    obs.set_client_slow_threshold(tenant_index, tenant.slo_p99_s)
         start_time = sim.now
         run = _RunState()
         states: List[_TenantState] = []
@@ -410,7 +416,12 @@ class OpenLoopRunner:
                         # because this path is budgeted.
                         attempt += 1
                         if spec.retry_backoff_s > 0:
+                            backoff_start = sim.now
                             yield sim.timeout(spec.retry_backoff_s * attempt)
+                            if obs is not None:
+                                obs.stamp(
+                                    "client_backoff", backoff_start, sim.now
+                                )
                         continue
                     if obs is not None:
                         obs.retry_budget_exhausted(spec.name)
@@ -443,6 +454,10 @@ class OpenLoopRunner:
             final_type = f"{OpType.ERROR}:{name}"
         if span is not None:
             obs.end_op(span, final_type)
+            if outcome[0] != "ok":
+                obs.flight_dump("errored-op", span)
+            elif spec.slo_p99_s is not None and (now - start) > spec.slo_p99_s:
+                obs.flight_dump("slo-violation", span)
 
 
 class _RunState:

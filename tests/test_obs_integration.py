@@ -204,6 +204,28 @@ class TestZeroPerturbation:
         instrumented = _simulated_fingerprint(run_workload(enabled), enabled)
         assert base.encode() == instrumented.encode()
 
+    def test_full_stack_matches_disabled_run_byte_for_byte(self):
+        """Attribution stamps, cadence-sampled time series and the flight
+        recorder together still perturb nothing: same fingerprint as bare."""
+        disabled = fresh_cluster()
+        base = _simulated_fingerprint(run_workload(disabled), disabled)
+        enabled = fresh_cluster(
+            obs_config(
+                sample_every=2,
+                timeseries_cadence_s=0.0004,
+                timeseries_points=32,
+                flight_ring=16,
+                max_flight_dumps=4,
+                derive_slow_from_slo=True,
+            )
+        )
+        instrumented = _simulated_fingerprint(run_workload(enabled), enabled)
+        assert base.encode() == instrumented.encode()
+        # The stack actually did something on the instrumented run.
+        snap = enabled.obs.snapshot()
+        assert snap["timeseries"]
+        assert any(span["segments"] for span in snap["sampled_spans"])
+
     def test_disabled_run_is_deterministic(self):
         first = fresh_cluster()
         second = fresh_cluster()
@@ -214,7 +236,7 @@ class TestZeroPerturbation:
     def test_disabled_cluster_reaches_no_metric_code(self, monkeypatch):
         """The `is None` fast path is total: with observability off, not a
         single instrument or span method may execute."""
-        from repro.obs import hub, metrics, spans
+        from repro.obs import flight, hub, metrics, spans, timeseries
 
         def boom(*_args, **_kwargs):
             raise AssertionError("metric work on the disabled path")
@@ -225,6 +247,15 @@ class TestZeroPerturbation:
         monkeypatch.setattr(metrics.Histogram, "observe", boom)
         monkeypatch.setattr(spans.OpSpan, "__init__", boom)
         monkeypatch.setattr(hub.Observability, "begin_op", boom)
+        # The v2 surfaces are equally unreachable when disabled.
+        monkeypatch.setattr(hub.Observability, "stamp", boom)
+        monkeypatch.setattr(hub.Observability, "stamp_leg", boom)
+        monkeypatch.setattr(hub.Observability, "maybe_sample", boom)
+        monkeypatch.setattr(timeseries.TimeSeries, "record", boom)
+        monkeypatch.setattr(flight.FlightRecorder, "record_op", boom)
+        monkeypatch.setattr(flight.FlightRecorder, "record_verb", boom)
+        monkeypatch.setattr(flight.FlightRecorder, "record_fault", boom)
+        monkeypatch.setattr(flight.FlightRecorder, "dump", boom)
         cluster = fresh_cluster()
         assert cluster.obs is None
         result = run_workload(cluster, measure_s=0.002)

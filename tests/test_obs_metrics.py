@@ -138,6 +138,40 @@ class TestHistogram:
     def test_quantile_bounds_checked(self, clock):
         with pytest.raises(ValueError):
             self.make(clock).quantile(1.5)
+        with pytest.raises(ValueError):
+            self.make(clock).quantile(-0.01)
+        # The domain edges themselves are legal.
+        empty = self.make(clock)
+        assert empty.quantile(0.0) == 0.0
+        assert empty.quantile(1.0) == 0.0
+
+    def test_quantiles_monotone_across_the_summary_points(self, clock):
+        """p50 <= p90 <= p99 <= p999 <= max, for an arbitrary spread."""
+        hist = self.make(clock, count=24)
+        for i in range(200):
+            hist.observe(1e-6 * (1.17 ** (i % 37)))
+        summary = hist.summary()
+        assert (
+            summary["p50"] <= summary["p90"] <= summary["p99"]
+            <= summary["p999"] <= hist.max
+        )
+
+    def test_summary_matches_quantiles(self, clock):
+        hist = self.make(clock)
+        for value in (1e-6, 2e-6, 4e-6, 8e-6):
+            hist.observe(value)
+        summary = hist.summary()
+        assert set(summary) == {"mean", "p50", "p90", "p99", "p999"}
+        assert summary["mean"] == hist.mean
+        for key, q in (("p50", 0.5), ("p90", 0.9), ("p99", 0.99),
+                       ("p999", 0.999)):
+            assert summary[key] == hist.quantile(q)
+
+    def test_as_dict_carries_the_extended_percentiles(self, clock):
+        hist = self.make(clock)
+        hist.observe(2e-6)
+        rendered = hist.as_dict()
+        assert "p90" in rendered and "p999" in rendered
 
     def test_as_dict_is_json_safe(self, clock):
         hist = self.make(clock)
@@ -246,6 +280,79 @@ class TestExporters:
         ]
         assert counts == sorted(counts)
         assert counts[-1] == 3
+
+    def test_prometheus_label_order_is_canonical(self, clock):
+        """Identical metrics rendered from differently-ordered label dicts
+        produce byte-identical expositions (labels sort by key)."""
+        base = _sample_snapshot(clock)
+        shuffled = json.loads(to_json(base))
+        for metric in shuffled["metrics"]:
+            metric["labels"] = dict(
+                sorted(metric["labels"].items(), reverse=True)
+            )
+        assert prometheus_text(base) == prometheus_text(shuffled)
+
+    def test_prometheus_renders_deterministically(self, clock):
+        snap = _sample_snapshot(clock)
+        assert prometheus_text(snap) == prometheus_text(snap)
+
+    def test_prometheus_escapes_label_values(self, clock):
+        snap = _sample_snapshot(clock)
+        snap["metrics"].append(
+            {
+                "type": "counter",
+                "name": "nam_escape_probe_total",
+                "labels": {"path": 'a\\b"c\nd'},
+                "value": 1,
+                "updated_at": 0.0,
+            }
+        )
+        text = prometheus_text(snap)
+        assert '\\\\b' in text and '\\"c' in text and "\\nd" in text
+        # The raw newline never leaks into the exposition line.
+        line = next(
+            ln for ln in text.splitlines() if "escape_probe" in ln and "#" not in ln
+        )
+        assert "\n" not in line
+        assert validate_prometheus_text(text) > 0
+
+    def test_prometheus_exports_latest_timeseries_point(self, clock):
+        snap = _sample_snapshot(clock)
+        snap["timeseries"] = [
+            {
+                "name": "rpc_queue_len",
+                "labels": {"server": "0"},
+                "points": [[0.001, 2.0], [0.002, 5.0]],
+            },
+            {
+                "name": "rpc_queue_len",
+                "labels": {"server": "1"},
+                "points": [[0.002, 1.0]],
+            },
+            {"name": "empty_series", "labels": {"server": "0"}, "points": []},
+        ]
+        text = prometheus_text(snap)
+        assert 'rpc_queue_len{server="0"} 5' in text
+        assert 'rpc_queue_len{server="1"} 1' in text
+        assert text.count("# TYPE rpc_queue_len gauge") == 1
+        assert "empty_series" not in text
+        assert validate_prometheus_text(text) > 0
+
+    def test_chrome_trace_emits_timeseries_counter_events(self, clock):
+        snap = _sample_snapshot(clock)
+        snap["timeseries"] = [
+            {
+                "name": "rpc_queue_len",
+                "labels": {"server": "1"},
+                "points": [[0.001, 2.0], [0.002, 3.0]],
+            }
+        ]
+        document = chrome_trace(snap)
+        counters = [e for e in document["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 2
+        assert all(e["pid"] == 1 for e in counters)
+        assert [e["args"]["value"] for e in counters] == [2.0, 3.0]
+        assert validate_chrome_trace(json.dumps(document)) == 5
 
     def test_json_round_trip(self, clock):
         snap = _sample_snapshot(clock)
